@@ -1,0 +1,59 @@
+//! Criterion benches for the ablations: cross-product Algorithm 1 vs 2,
+//! LMM multiplication orders, and the chunked (ORE-analog) backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus_data::synth::PkFkSpec;
+use morpheus_dense::DenseMatrix;
+use morpheus_ml::logreg::LogisticRegressionGd;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 500, 20, 21).generate();
+    let labels = ds.labels();
+    let tn = ds.tn;
+    let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| ((i + j) % 5) as f64 * 0.25);
+
+    let mut g = c.benchmark_group("ablation");
+    g.bench_function("crossprod/efficient-alg2", |b| {
+        b.iter(|| black_box(tn.crossprod()))
+    });
+    g.bench_function("crossprod/naive-alg1", |b| {
+        b.iter(|| black_box(tn.crossprod_naive()))
+    });
+    g.bench_function("lmm/order-K(RX)", |b| b.iter(|| black_box(tn.lmm(&x))));
+    g.bench_function("lmm/order-(KR)X", |b| {
+        b.iter(|| black_box(tn.lmm_materialized_order(&x)))
+    });
+
+    // Chunked backend overhead: same logistic-regression step, in-memory vs
+    // chunked, factorized vs materialized.
+    let trainer = LogisticRegressionGd::new(1e-3, 1);
+    let ex = Executor::new(1);
+    let cf = ChunkedNormalizedMatrix::from_normalized(&tn, 512, ex);
+    let cm = ChunkedMatrix::from_matrix(&tn.materialize(), 512, ex);
+    g.bench_function("chunked/logreg-step/F", |b| {
+        b.iter(|| {
+            let mut w = DenseMatrix::zeros(cf.ncols(), 1);
+            trainer.step(&cf, &labels, &mut w);
+            black_box(w)
+        })
+    });
+    g.bench_function("chunked/logreg-step/M", |b| {
+        b.iter(|| {
+            let mut w = DenseMatrix::zeros(cm.ncols(), 1);
+            trainer.step(&cm, &labels, &mut w);
+            black_box(w)
+        })
+    });
+    g.finish();
+}
+
+use morpheus_core::LinearOperand;
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablation);

@@ -1,0 +1,95 @@
+//! Criterion micro-benches for the substrate kernels: dense GEMM /
+//! cross-product, sparse products, transposition, and the numerical
+//! routines (`ginv`). These calibrate the building blocks underneath every
+//! paper experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morpheus_dense::DenseMatrix;
+use morpheus_linalg::{eigen_sym, ginv_sym_psd, svd};
+use morpheus_sparse::CsrMatrix;
+use std::hint::black_box;
+
+fn dense(n: usize, d: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed;
+    DenseMatrix::from_fn(n, d, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let a = dense(400, 80, 1);
+    let b = dense(80, 60, 2);
+    c.bench_function("dense/gemm 400x80x60", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("dense/crossprod 400x80", |bench| {
+        bench.iter(|| black_box(a.crossprod()))
+    });
+    c.bench_function("dense/t_matmul 400x80x60", |bench| {
+        let y = dense(400, 60, 3);
+        bench.iter(|| black_box(a.t_matmul(&y)))
+    });
+    c.bench_function("dense/transpose 400x80", |bench| {
+        bench.iter(|| black_box(a.transpose()))
+    });
+    c.bench_function("dense/row_sums 400x80", |bench| {
+        bench.iter(|| black_box(a.row_sums()))
+    });
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    // One-hot style sparse matrix: 5 nnz per row.
+    let n = 2_000;
+    let cols = 500;
+    let trips: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| (0..5).map(move |k| (i, (i * 7 + k * 31) % cols, 1.0)))
+        .collect();
+    let sp = CsrMatrix::from_triplets(n, cols, &trips).unwrap();
+    let x = dense(cols, 8, 4);
+    c.bench_function("sparse/spmm 2000x500x8", |bench| {
+        bench.iter(|| black_box(sp.spmm_dense(&x)))
+    });
+    let y = dense(n, 8, 5);
+    c.bench_function("sparse/t_spmm 2000x500x8", |bench| {
+        bench.iter(|| black_box(sp.t_spmm_dense(&y)))
+    });
+    c.bench_function("sparse/transpose 2000x500", |bench| {
+        bench.iter(|| black_box(sp.transpose()))
+    });
+    let k = CsrMatrix::indicator(&(0..n).map(|i| i % 100).collect::<Vec<_>>(), 100);
+    c.bench_function("sparse/spgemm KtK 2000x100", |bench| {
+        let kt = k.transpose();
+        bench.iter(|| black_box(kt.spgemm(&k)))
+    });
+    c.bench_function("sparse/crossprod 2000x500", |bench| {
+        bench.iter(|| black_box(sp.crossprod_dense()))
+    });
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let a = dense(120, 40, 6);
+    let gram = a.crossprod();
+    c.bench_function("linalg/eigen_sym 40x40", |bench| {
+        bench.iter_batched(
+            || gram.clone(),
+            |g| black_box(eigen_sym(&g).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("linalg/ginv_sym_psd 40x40", |bench| {
+        bench.iter(|| black_box(ginv_sym_psd(&gram)))
+    });
+    c.bench_function("linalg/svd 120x40", |bench| {
+        bench.iter(|| black_box(svd(&a).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the four paper algorithms (Figures 5, 8, 9, 10):
+//! factorized vs materialized training at TR = 10, FR = 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_data::synth::PkFkSpec;
+use morpheus_ml::gnmf::Gnmf;
+use morpheus_ml::kmeans::KMeans;
+use morpheus_ml::linreg::{LinearRegressionGd, LinearRegressionNe};
+use morpheus_ml::logreg::LogisticRegressionGd;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 400, 16, 9).generate();
+    let y = ds.y.clone();
+    let labels = ds.labels();
+    let tn = ds.tn;
+    let tm = tn.materialize();
+
+    let mut g = c.benchmark_group("ml");
+    let logreg = LogisticRegressionGd::new(1e-3, 5);
+    g.bench_function("logreg/F", |b| {
+        b.iter(|| black_box(logreg.fit(&tn, &labels)))
+    });
+    g.bench_function("logreg/M", |b| {
+        b.iter(|| black_box(logreg.fit(&tm, &labels)))
+    });
+
+    let linreg = LinearRegressionNe::new();
+    g.bench_function("linreg-ne/F", |b| b.iter(|| black_box(linreg.fit(&tn, &y))));
+    g.bench_function("linreg-ne/M", |b| b.iter(|| black_box(linreg.fit(&tm, &y))));
+
+    let lingd = LinearRegressionGd::new(1e-6, 5);
+    g.bench_function("linreg-gd/F", |b| b.iter(|| black_box(lingd.fit(&tn, &y))));
+    g.bench_function("linreg-gd/M", |b| b.iter(|| black_box(lingd.fit(&tm, &y))));
+
+    let km = KMeans::new(5, 5);
+    g.bench_function("kmeans/F", |b| b.iter(|| black_box(km.fit(&tn))));
+    g.bench_function("kmeans/M", |b| b.iter(|| black_box(km.fit(&tm))));
+
+    let gnmf = Gnmf::new(3, 5);
+    g.bench_function("gnmf/F", |b| b.iter(|| black_box(gnmf.fit(&tn))));
+    g.bench_function("gnmf/M", |b| b.iter(|| black_box(gnmf.fit(&tm))));
+    g.finish();
+}
+
+criterion_group! {
+    name = ml;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ml);

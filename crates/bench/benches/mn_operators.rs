@@ -1,0 +1,51 @@
+//! Criterion benches for the M:N join rewrites (Figures 4, 11, 12):
+//! factorized vs materialized LMM, RMM, and cross-product at two
+//! uniqueness degrees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_core::Matrix;
+use morpheus_data::synth::MnJoinSpec;
+use morpheus_dense::DenseMatrix;
+use std::hint::black_box;
+
+fn bench_degree(c: &mut Criterion, degree: f64) {
+    let n_s = 400;
+    let spec = MnJoinSpec {
+        n_s,
+        n_r: n_s,
+        d_s: 20,
+        d_r: 20,
+        n_u: ((n_s as f64 * degree) as usize).max(1),
+        seed: 7,
+    };
+    let ds = spec.generate();
+    let tn = ds.tn;
+    let tm = tn.materialize();
+    let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| ((i + j) % 5) as f64 * 0.25);
+    let z = DenseMatrix::from_fn(2, tn.rows(), |i, j| ((i * 3 + j) % 7) as f64 * 0.1);
+
+    let mut g = c.benchmark_group(format!("mn/deg{degree}"));
+    g.bench_function("lmm/F", |b| b.iter(|| black_box(tn.lmm(&x))));
+    g.bench_function("lmm/M", |b| b.iter(|| black_box(tm.matmul_dense(&x))));
+    g.bench_function("rmm/F", |b| b.iter(|| black_box(tn.rmm(&z))));
+    g.bench_function("rmm/M", |b| b.iter(|| black_box(tm.dense_matmul(&z))));
+    g.bench_function("crossprod/F", |b| {
+        b.iter(|| black_box(morpheus_core::NormalizedMatrix::crossprod(&tn)))
+    });
+    g.bench_function("crossprod/M", |b| {
+        b.iter(|| black_box(Matrix::crossprod(&tm)))
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_degree(c, 0.5);
+    bench_degree(c, 0.05);
+}
+
+criterion_group! {
+    name = mn;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(mn);

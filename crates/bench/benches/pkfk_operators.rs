@@ -1,0 +1,53 @@
+//! Criterion benches for the PK-FK operator rewrites (Figures 3, 6, 7):
+//! factorized ("F") vs materialized ("M") at a representative
+//! high-redundancy point (TR = 10, FR = 2) and a low-redundancy point
+//! (TR = 2, FR = 0.5) where the decision rule would choose M.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_core::LinearOperand;
+use morpheus_data::synth::PkFkSpec;
+use morpheus_dense::DenseMatrix;
+use std::hint::black_box;
+
+fn bench_point(c: &mut Criterion, tag: &str, tr: f64, fr: f64) {
+    let ds = PkFkSpec::from_ratios(tr, fr, 500, 20, 42).generate();
+    let tn = ds.tn;
+    let tm = tn.materialize();
+    let d = tn.cols();
+    let x = DenseMatrix::from_fn(d, 2, |i, j| ((i + j) % 5) as f64 * 0.25);
+
+    let mut g = c.benchmark_group(format!("pkfk/{tag}"));
+    g.bench_function("scalar-mul/F", |b| {
+        b.iter(|| black_box(tn.scalar_mul(3.25)))
+    });
+    g.bench_function("scalar-mul/M", |b| {
+        b.iter(|| black_box(tm.scalar_mul(3.25)))
+    });
+    g.bench_function("lmm/F", |b| b.iter(|| black_box(tn.lmm(&x))));
+    g.bench_function("lmm/M", |b| b.iter(|| black_box(tm.matmul_dense(&x))));
+    g.bench_function("rowsums/F", |b| b.iter(|| black_box(tn.row_sums())));
+    g.bench_function("rowsums/M", |b| b.iter(|| black_box(tm.row_sums())));
+    g.bench_function("colsums/F", |b| b.iter(|| black_box(tn.col_sums())));
+    g.bench_function("colsums/M", |b| b.iter(|| black_box(tm.col_sums())));
+    g.bench_function("crossprod/F", |b| {
+        b.iter(|| black_box(morpheus_core::NormalizedMatrix::crossprod(&tn)))
+    });
+    g.bench_function("crossprod/M", |b| {
+        b.iter(|| black_box(morpheus_core::Matrix::crossprod(&tm)))
+    });
+    g.bench_function("ginv/F", |b| b.iter(|| black_box(tn.ginv())));
+    g.bench_function("ginv/M", |b| b.iter(|| black_box(LinearOperand::ginv(&tm))));
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_point(c, "tr10-fr2", 10.0, 2.0);
+    bench_point(c, "tr2-fr0.5", 2.0, 0.5);
+}
+
+criterion_group! {
+    name = pkfk;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(pkfk);

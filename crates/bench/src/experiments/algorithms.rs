@@ -1,0 +1,315 @@
+//! ML algorithm-level experiments on synthetic PK-FK data: Figures 5, 8,
+//! 9, and 10.
+//!
+//! Each figure compares the materialized ("M") and Morpheus-factorized
+//! ("F") versions of an algorithm while sweeping the tuple ratio, feature
+//! ratio, iteration count, or model size (centroids/topics). The algorithm
+//! implementations are the *same code* for both sides — only the operand
+//! type differs.
+
+use super::{print_rows, Row};
+use crate::timing::time_median;
+use morpheus_core::{LinearOperand, Matrix};
+use morpheus_data::synth::{PkFkSpec, SynthDataset};
+use morpheus_dense::DenseMatrix;
+use morpheus_ml::gnmf::Gnmf;
+use morpheus_ml::kmeans::KMeans;
+use morpheus_ml::linreg::{LinearRegressionGd, LinearRegressionNe};
+use morpheus_ml::logreg::LogisticRegressionGd;
+use std::hint::black_box;
+
+/// The four paper algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Logistic regression (GD), 20 iterations.
+    LogReg,
+    /// Linear regression via normal equations.
+    LinRegNe,
+    /// Linear regression via gradient descent.
+    LinRegGd,
+    /// K-Means with `k` centroids.
+    KMeans(usize),
+    /// GNMF with rank `r`.
+    Gnmf(usize),
+}
+
+fn run<M: LinearOperand>(algo: Algo, t: &M, y: &DenseMatrix, iters: usize) {
+    match algo {
+        Algo::LogReg => {
+            black_box(LogisticRegressionGd::new(1e-3, iters).fit(t, y));
+        }
+        Algo::LinRegNe => {
+            black_box(LinearRegressionNe::new().fit(t, y));
+        }
+        Algo::LinRegGd => {
+            black_box(LinearRegressionGd::new(1e-6, iters).fit(t, y));
+        }
+        Algo::KMeans(k) => {
+            black_box(KMeans::new(k, iters).fit(t));
+        }
+        Algo::Gnmf(r) => {
+            black_box(Gnmf::new(r, iters).fit(t));
+        }
+    }
+}
+
+fn time_algo(algo: Algo, ds: &SynthDataset, tm: &Matrix, iters: usize, reps: usize) -> (f64, f64) {
+    let y = match algo {
+        Algo::LogReg => ds.labels(),
+        _ => ds.y.clone(),
+    };
+    let (t_f, _) = time_median(reps, || run(algo, &ds.tn, &y, iters));
+    let (t_m, _) = time_median(reps, || run(algo, tm, &y, iters));
+    (t_f, t_m)
+}
+
+struct Dims {
+    n_r: usize,
+    d_s: usize,
+    trs: Vec<f64>,
+    frs: Vec<f64>,
+    iters: usize,
+    reps: usize,
+}
+
+fn dims(quick: bool) -> Dims {
+    if quick {
+        Dims {
+            n_r: 100,
+            d_s: 8,
+            trs: vec![2.0, 10.0],
+            frs: vec![0.5, 2.0],
+            iters: 3,
+            reps: 1,
+        }
+    } else {
+        // Paper Table 4 ratios at 1/1000 of n_R = 10^6.
+        Dims {
+            n_r: 1_000,
+            d_s: 20,
+            trs: vec![5.0, 10.0, 15.0, 20.0],
+            frs: vec![1.0, 2.0, 3.0, 4.0],
+            iters: 20,
+            reps: 1,
+        }
+    }
+}
+
+/// Generic TR/FR sweep for one algorithm.
+fn tr_fr_sweep(algo: Algo, title: &str, quick: bool) -> Vec<Row> {
+    let cfg = dims(quick);
+    let mut rows = Vec::new();
+    // Vary TR at FR in {2, 4} (paper row a1/b1/c1/d1 style).
+    for &fr in &[2.0, 4.0] {
+        for &tr in &cfg.trs {
+            let ds = PkFkSpec::from_ratios(tr, fr, cfg.n_r, cfg.d_s, 17).generate();
+            let tm = ds.tn.materialize();
+            let (t_f, t_m) = time_algo(algo, &ds, &tm, cfg.iters, cfg.reps);
+            rows.push(Row::new(
+                format!("vary-TR: TR={tr} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    // Vary FR at TR in {10, 20}.
+    for &tr in &[10.0, 20.0] {
+        for &fr in &cfg.frs {
+            let ds = PkFkSpec::from_ratios(tr, fr, cfg.n_r, cfg.d_s, 19).generate();
+            let tm = ds.tn.materialize();
+            let (t_f, t_m) = time_algo(algo, &ds, &tm, cfg.iters, cfg.reps);
+            rows.push(Row::new(
+                format!("vary-FR: TR={tr} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    print_rows(title, &rows);
+    rows
+}
+
+/// Figure 5(a): logistic regression vs TR and FR (20 iterations).
+pub fn fig5a(quick: bool) -> Vec<Row> {
+    tr_fr_sweep(
+        Algo::LogReg,
+        "Figure 5(a): logistic regression runtimes (seconds)",
+        quick,
+    )
+}
+
+/// Figure 5(b): linear regression (normal equations) vs TR and FR.
+pub fn fig5b(quick: bool) -> Vec<Row> {
+    tr_fr_sweep(
+        Algo::LinRegNe,
+        "Figure 5(b): linear regression (normal equations) runtimes (seconds)",
+        quick,
+    )
+}
+
+/// Figure 5(c): K-Means vs iterations (k=10) and vs number of centroids.
+pub fn fig5c(quick: bool) -> Vec<Row> {
+    let cfg = dims(quick);
+    let mut rows = Vec::new();
+    let iter_sweep: &[usize] = if quick { &[2, 4] } else { &[5, 10, 15, 20] };
+    let k_sweep: &[usize] = if quick { &[2, 4] } else { &[5, 10, 15, 20] };
+    for &fr in &[2.0, 4.0] {
+        let ds = PkFkSpec::from_ratios(20.0, fr, cfg.n_r, cfg.d_s, 23).generate();
+        let tm = ds.tn.materialize();
+        for &it in iter_sweep {
+            let (t_f, t_m) = time_algo(Algo::KMeans(10.min(ds.tn.cols())), &ds, &tm, it, cfg.reps);
+            rows.push(Row::new(
+                format!("vary-iters: it={it} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+        for &k in k_sweep {
+            let (t_f, t_m) = time_algo(Algo::KMeans(k), &ds, &tm, cfg.iters.min(10), cfg.reps);
+            rows.push(Row::new(
+                format!("vary-k: k={k} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    print_rows("Figure 5(c): K-Means runtimes (seconds)", &rows);
+    rows
+}
+
+/// Figure 5(d): GNMF vs iterations (r=5) and vs number of topics.
+pub fn fig5d(quick: bool) -> Vec<Row> {
+    let cfg = dims(quick);
+    let mut rows = Vec::new();
+    let iter_sweep: &[usize] = if quick { &[2, 4] } else { &[5, 10, 15, 20] };
+    let r_sweep: &[usize] = if quick { &[2, 3] } else { &[2, 4, 6, 8, 10] };
+    for &fr in &[2.0, 4.0] {
+        let ds = PkFkSpec::from_ratios(20.0, fr, cfg.n_r, cfg.d_s, 29).generate();
+        let tm = ds.tn.materialize();
+        for &it in iter_sweep {
+            let (t_f, t_m) = time_algo(Algo::Gnmf(5), &ds, &tm, it, cfg.reps);
+            rows.push(Row::new(
+                format!("vary-iters: it={it} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+        for &r in r_sweep {
+            let (t_f, t_m) = time_algo(Algo::Gnmf(r), &ds, &tm, cfg.iters.min(10), cfg.reps);
+            rows.push(Row::new(
+                format!("vary-topics: r={r} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    print_rows("Figure 5(d): GNMF runtimes (seconds)", &rows);
+    rows
+}
+
+/// Figure 8: linear regression with gradient descent vs TR, FR, and
+/// iteration count.
+pub fn fig8(quick: bool) -> Vec<Row> {
+    let mut rows = tr_fr_sweep(
+        Algo::LinRegGd,
+        "Figure 8(a,b): linear regression (GD) runtimes (seconds)",
+        quick,
+    );
+    let cfg = dims(quick);
+    let iter_sweep: &[usize] = if quick { &[2, 4] } else { &[5, 10, 15, 20] };
+    let mut iter_rows = Vec::new();
+    for &fr in &[2.0, 4.0] {
+        let ds = PkFkSpec::from_ratios(20.0, fr, cfg.n_r, cfg.d_s, 31).generate();
+        let tm = ds.tn.materialize();
+        for &it in iter_sweep {
+            let (t_f, t_m) = time_algo(Algo::LinRegGd, &ds, &tm, it, cfg.reps);
+            iter_rows.push(Row::new(
+                format!("vary-iters: it={it} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    print_rows(
+        "Figure 8(c): linear regression (GD) vs iterations",
+        &iter_rows,
+    );
+    rows.extend(iter_rows);
+    rows
+}
+
+/// Figure 9: logistic regression vs iteration count.
+pub fn fig9(quick: bool) -> Vec<Row> {
+    let cfg = dims(quick);
+    let iter_sweep: &[usize] = if quick { &[2, 4] } else { &[5, 10, 15, 20] };
+    let mut rows = Vec::new();
+    for &fr in &[2.0, 4.0] {
+        let ds = PkFkSpec::from_ratios(20.0, fr, cfg.n_r, cfg.d_s, 37).generate();
+        let tm = ds.tn.materialize();
+        for &it in iter_sweep {
+            let (t_f, t_m) = time_algo(Algo::LogReg, &ds, &tm, it, cfg.reps);
+            rows.push(Row::new(
+                format!("it={it} FR={fr}"),
+                vec![("F", t_f), ("M", t_m), ("speedup", t_m / t_f)],
+            ));
+        }
+    }
+    print_rows(
+        "Figure 9: logistic regression vs iterations (seconds)",
+        &rows,
+    );
+    rows
+}
+
+/// Figure 10: K-Means and GNMF vs TR and FR.
+pub fn fig10(quick: bool) -> Vec<Row> {
+    let mut rows = tr_fr_sweep(
+        Algo::KMeans(10),
+        "Figure 10(1): K-Means vs TR and FR (seconds)",
+        quick,
+    );
+    rows.extend(tr_fr_sweep(
+        Algo::Gnmf(5),
+        "Figure 10(2): GNMF vs TR and FR (seconds)",
+        quick,
+    ));
+    rows
+}
+
+/// Checks that an M-vs-F run produced identical models (used by the smoke
+/// tests; the performance harness assumes it).
+pub fn verify_equivalence(quick: bool) -> bool {
+    let cfg = dims(quick);
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, cfg.n_r.min(200), cfg.d_s.min(8), 3).generate();
+    let tm = ds.tn.materialize();
+    let y = ds.labels();
+    let f = LogisticRegressionGd::new(1e-3, 5).fit(&ds.tn, &y);
+    let m = LogisticRegressionGd::new(1e-3, 5).fit(&tm, &y);
+    f.w.approx_eq(&m.w, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalence_holds() {
+        assert!(verify_equivalence(true));
+    }
+
+    #[test]
+    fn fig5a_quick_runs() {
+        let rows = fig5a(true);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.get("F").unwrap() > 0.0);
+            assert!(r.get("M").unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig5c_and_5d_quick_run() {
+        assert!(!fig5c(true).is_empty());
+        assert!(!fig5d(true).is_empty());
+    }
+
+    #[test]
+    fn fig8_fig9_fig10_quick_run() {
+        assert!(!fig8(true).is_empty());
+        assert!(!fig9(true).is_empty());
+        assert!(!fig10(true).is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5 + appendices).
+//!
+//! The harness has two faces:
+//!
+//! * the [`experiments`] module + the `repro` binary — paper-style text
+//!   tables for **every** table and figure, sized down (ratios preserved)
+//!   to run on a small CI machine. `cargo run --release -p morpheus-bench
+//!   --bin repro -- all` regenerates everything; see `EXPERIMENTS.md` for
+//!   the recorded output and the paper-vs-measured comparison.
+//! * Criterion micro-benches (`benches/`) for statistically careful
+//!   operator-level measurements.
+//!
+//! Absolute numbers differ from the paper's 20-core Xeon + R/BLAS setup by
+//! construction; the reproduction targets are the *shapes*: who wins, how
+//! speedups scale with the tuple ratio, feature ratio, and join-attribute
+//! uniqueness degree, and where the slow-down region sits.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod timing;

@@ -1,0 +1,274 @@
+//! [`ChunkedMatrix`]: a regular matrix stored as row chunks, with every
+//! operator evaluated chunk-at-a-time in parallel.
+
+use crate::{Executor, LinearOperand};
+use morpheus_core::Matrix;
+use morpheus_dense::DenseMatrix;
+use morpheus_linalg::ginv_sym_psd;
+
+/// A regular (materialized) matrix partitioned into row chunks — the "M"
+/// side of the ORE experiments.
+#[derive(Debug, Clone)]
+pub struct ChunkedMatrix {
+    chunks: Vec<Matrix>,
+    rows: usize,
+    cols: usize,
+    executor: Executor,
+}
+
+impl ChunkedMatrix {
+    /// Partitions `m` into row chunks of at most `chunk_rows` rows.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows == 0`.
+    pub fn from_matrix(m: &Matrix, chunk_rows: usize, executor: Executor) -> Self {
+        assert!(chunk_rows > 0, "ChunkedMatrix: chunk_rows must be positive");
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut chunks = Vec::with_capacity(rows.div_ceil(chunk_rows).max(1));
+        let mut start = 0;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            chunks.push(m.slice_rows(start..end));
+            start = end;
+        }
+        if chunks.is_empty() {
+            chunks.push(m.slice_rows(0..0));
+        }
+        Self {
+            chunks,
+            rows,
+            cols,
+            executor,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The executor used for chunk-parallel evaluation.
+    pub fn executor(&self) -> Executor {
+        self.executor
+    }
+
+    fn chunk_row_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.chunks.len() + 1);
+        let mut acc = 0;
+        offs.push(0);
+        for c in &self.chunks {
+            acc += c.rows();
+            offs.push(acc);
+        }
+        offs
+    }
+}
+
+impl LinearOperand for ChunkedMatrix {
+    fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        // Each chunk contributes its own output rows: rowapply + stack.
+        let parts = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].matmul_dense(x));
+        let refs: Vec<&DenseMatrix> = parts.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        // Tᵀ X = Σ chunks Cᵢᵀ Xᵢ: rowapply + reduce.
+        let offsets = self.chunk_row_offsets();
+        let parts = self.executor.map(self.chunks.len(), |i| {
+            let xi = x.slice_rows(offsets[i]..offsets[i + 1]);
+            self.chunks[i].t_matmul_dense(&xi)
+        });
+        let mut acc = DenseMatrix::zeros(self.cols, x.cols());
+        for p in parts {
+            acc.add_assign(&p);
+        }
+        acc
+    }
+
+    fn rmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        // X T = Σ over chunks of X[:, chunk] Cᵢ columns? No — X T splits X
+        // by columns aligned with T's row chunks: X T = Σᵢ X[:, rowsᵢ] Cᵢ.
+        let offsets = self.chunk_row_offsets();
+        let parts = self.executor.map(self.chunks.len(), |i| {
+            let xi = x.slice_cols(offsets[i]..offsets[i + 1]);
+            self.chunks[i].dense_matmul(&xi)
+        });
+        let mut acc = DenseMatrix::zeros(x.rows(), self.cols);
+        for p in parts {
+            acc.add_assign(&p);
+        }
+        acc
+    }
+
+    fn crossprod(&self) -> DenseMatrix {
+        // TᵀT = Σ chunks CᵢᵀCᵢ.
+        let parts = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].crossprod());
+        let mut acc = DenseMatrix::zeros(self.cols, self.cols);
+        for p in parts {
+            acc.add_assign(&p);
+        }
+        acc
+    }
+
+    fn row_sums(&self) -> DenseMatrix {
+        let parts = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].row_sums());
+        let refs: Vec<&DenseMatrix> = parts.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    fn col_sums(&self) -> DenseMatrix {
+        let parts = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].col_sums());
+        let mut acc = DenseMatrix::zeros(1, self.cols);
+        for p in parts {
+            acc.add_assign(&p);
+        }
+        acc
+    }
+
+    fn sum(&self) -> f64 {
+        self.executor.map_reduce(
+            self.chunks.len(),
+            |i| self.chunks[i].sum(),
+            0.0,
+            |a, b| a + b,
+        )
+    }
+
+    fn scale(&self, x: f64) -> Self {
+        let chunks = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].scalar_mul(x));
+        Self {
+            chunks,
+            rows: self.rows,
+            cols: self.cols,
+            executor: self.executor,
+        }
+    }
+
+    fn squared(&self) -> Self {
+        let chunks = self
+            .executor
+            .map(self.chunks.len(), |i| self.chunks[i].scalar_pow(2.0));
+        Self {
+            chunks,
+            rows: self.rows,
+            cols: self.cols,
+            executor: self.executor,
+        }
+    }
+
+    fn ginv(&self) -> DenseMatrix {
+        // Same §3.3.6 identity as everywhere else; both the cross-product
+        // and the closing LMM run chunk-parallel.
+        let (n, d) = (self.rows, self.cols);
+        if d < n {
+            let g = ginv_sym_psd(&self.crossprod());
+            self.lmm(&g).transpose()
+        } else {
+            let t = self.materialize().to_dense();
+            morpheus_linalg::ginv(&t)
+        }
+    }
+
+    fn materialize(&self) -> Matrix {
+        let denses: Vec<DenseMatrix> = self.chunks.iter().map(|c| c.to_dense()).collect();
+        let refs: Vec<&DenseMatrix> = denses.iter().collect();
+        Matrix::Dense(DenseMatrix::vstack_all(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Matrix, ChunkedMatrix) {
+        let m = Matrix::Dense(DenseMatrix::from_fn(23, 4, |i, j| {
+            ((i * 5 + j * 3) % 11) as f64 - 4.0
+        }));
+        let c = ChunkedMatrix::from_matrix(&m, 5, Executor::new(3));
+        (m, c)
+    }
+
+    #[test]
+    fn chunking_covers_all_rows() {
+        let (m, c) = sample();
+        assert_eq!(c.n_chunks(), 5); // 23 rows / 5 = 5 chunks
+        assert_eq!(c.nrows(), 23);
+        assert!(c.materialize().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn operators_match_in_memory() {
+        let (m, c) = sample();
+        let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64 * 0.5);
+        assert!(c.lmm(&x).approx_eq(&m.matmul_dense(&x), 1e-12));
+        let y = DenseMatrix::from_fn(23, 2, |i, j| ((i * 2 + j) % 5) as f64);
+        assert!(c.t_lmm(&y).approx_eq(&m.t_matmul_dense(&y), 1e-12));
+        let z = DenseMatrix::from_fn(3, 23, |i, j| ((i + j) % 4) as f64 - 1.0);
+        assert!(c.rmm(&z).approx_eq(&m.dense_matmul(&z), 1e-12));
+        assert!(LinearOperand::crossprod(&c).approx_eq(&m.crossprod(), 1e-12));
+        assert_eq!(LinearOperand::row_sums(&c), m.row_sums());
+        assert_eq!(LinearOperand::col_sums(&c), m.col_sums());
+        assert!((LinearOperand::sum(&c) - m.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_closure_ops() {
+        let (m, c) = sample();
+        assert!(c
+            .scale(2.5)
+            .materialize()
+            .approx_eq(&m.scalar_mul(2.5), 1e-12));
+        assert!(c
+            .squared()
+            .materialize()
+            .approx_eq(&m.scalar_pow(2.0), 1e-12));
+    }
+
+    #[test]
+    fn ginv_moore_penrose() {
+        let (m, c) = sample();
+        let p = LinearOperand::ginv(&c);
+        let t = m.to_dense();
+        assert!(t.matmul(&p).matmul(&t).approx_eq(&t, 1e-7));
+    }
+
+    #[test]
+    fn single_chunk_degenerate_case() {
+        let m = Matrix::Dense(DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64));
+        let c = ChunkedMatrix::from_matrix(&m, 100, Executor::new(2));
+        assert_eq!(c.n_chunks(), 1);
+        let x = DenseMatrix::from_fn(2, 1, |i, _| i as f64 + 1.0);
+        assert!(c.lmm(&x).approx_eq(&m.matmul_dense(&x), 1e-12));
+    }
+
+    #[test]
+    fn ml_algorithm_runs_unchanged_on_chunked_backend() {
+        // The closure demo: logistic regression from morpheus-ml, untouched.
+        let (m, c) = sample();
+        let y = DenseMatrix::from_fn(23, 1, |i, _| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let trainer = morpheus_ml::logreg::LogisticRegressionGd::new(1e-2, 5);
+        let w_chunked = trainer.fit(&c, &y);
+        let w_memory = trainer.fit(&m, &y);
+        assert!(w_chunked.w.approx_eq(&w_memory.w, 1e-10));
+    }
+}

@@ -1,0 +1,452 @@
+//! [`ChunkedNormalizedMatrix`]: the normalized matrix over the chunked
+//! backend — Morpheus-on-ORE.
+//!
+//! The logical rows of `T` are partitioned into chunks; the (small)
+//! attribute tables stay resident and shared across chunks, exactly as the
+//! paper's ORE prototype keeps the attribute tables whole while
+//! `ore.rowapply` streams the entity table. Internally each part is a
+//! shared base table plus per-chunk row assignments (the indicator matrix
+//! restricted to the chunk's rows).
+//!
+//! Every operator follows the factorized rewrite with the chunk dimension
+//! added:
+//!
+//! * LMM: the partial products `Bᵢ Xᵢ` are computed **once** globally, then
+//!   each chunk gathers its rows — redundancy is avoided across the whole
+//!   table, not merely within a chunk.
+//! * Transposed LMM: each chunk scatter-accumulates `Iᵢᵀ X` group sums; the
+//!   per-table products `Bᵢᵀ (…)` happen once at the end.
+//! * Cross-product: reference counts and co-occurrence matrices are
+//!   accumulated from the assignments, then the §3.3.5 efficient rewrite
+//!   runs on the shared tables.
+
+use crate::{Executor, LinearOperand};
+use morpheus_core::{Matrix, NormalizedMatrix};
+use morpheus_dense::DenseMatrix;
+use morpheus_linalg::ginv_sym_psd;
+use morpheus_sparse::CsrMatrix;
+
+/// A normalized matrix with chunked logical rows and shared base tables —
+/// the "F" side of the ORE experiments.
+#[derive(Debug, Clone)]
+pub struct ChunkedNormalizedMatrix {
+    /// Shared base tables `Bᵢ` (entity table first if one exists).
+    tables: Vec<Matrix>,
+    /// `assigns[p][i]` = base-table row of part `p` feeding logical row `i`.
+    assigns: Vec<Vec<usize>>,
+    /// Chunk boundaries over the logical rows: `[0, c₁, …, n]`.
+    chunk_offsets: Vec<usize>,
+    n_rows: usize,
+    executor: Executor,
+}
+
+impl ChunkedNormalizedMatrix {
+    /// Chunks a [`NormalizedMatrix`] into logical-row partitions of at most
+    /// `chunk_rows` rows. Works for every join shape (PK-FK, star, M:N) —
+    /// identity indicators become the trivial assignment.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows == 0`.
+    pub fn from_normalized(t: &NormalizedMatrix, chunk_rows: usize, executor: Executor) -> Self {
+        assert!(
+            chunk_rows > 0,
+            "ChunkedNormalizedMatrix: chunk_rows must be positive"
+        );
+        assert!(
+            !t.is_transposed(),
+            "ChunkedNormalizedMatrix: chunk the untransposed matrix"
+        );
+        let n_rows = t.logical_rows();
+        let mut tables = Vec::with_capacity(t.parts().len());
+        let mut assigns = Vec::with_capacity(t.parts().len());
+        for part in t.parts() {
+            tables.push(part.table().clone());
+            let assign: Vec<usize> = match part.indicator().as_rows() {
+                None => (0..n_rows).collect(),
+                Some(k) => (0..k.rows()).map(|i| k.row(i).0[0]).collect(),
+            };
+            assigns.push(assign);
+        }
+        let mut chunk_offsets = vec![0usize];
+        let mut start = 0;
+        while start < n_rows {
+            start = (start + chunk_rows).min(n_rows);
+            chunk_offsets.push(start);
+        }
+        if chunk_offsets.len() == 1 {
+            chunk_offsets.push(0);
+        }
+        Self {
+            tables,
+            assigns,
+            chunk_offsets,
+            n_rows,
+            executor,
+        }
+    }
+
+    /// Number of logical-row chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunk_offsets.len() - 1
+    }
+
+    /// Column offsets of the parts within `T`.
+    fn col_offsets(&self) -> Vec<usize> {
+        let mut offs = vec![0usize];
+        let mut acc = 0;
+        for t in &self.tables {
+            acc += t.cols();
+            offs.push(acc);
+        }
+        offs
+    }
+}
+
+impl LinearOperand for ChunkedNormalizedMatrix {
+    fn nrows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn ncols(&self) -> usize {
+        self.tables.iter().map(|t| t.cols()).sum()
+    }
+
+    fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        let offs = self.col_offsets();
+        // Global partials Pᵢ = Bᵢ X[dᵢ₋₁..dᵢ, ] — computed once.
+        let partials: Vec<DenseMatrix> = self
+            .tables
+            .iter()
+            .zip(offs.windows(2))
+            .map(|(t, w)| t.matmul_dense(&x.slice_rows(w[0]..w[1])))
+            .collect();
+        let m = x.cols();
+        // Chunk-parallel gather-sum.
+        let chunks = self.executor.map(self.n_chunks(), |ci| {
+            let lo = self.chunk_offsets[ci];
+            let hi = self.chunk_offsets[ci + 1];
+            let mut out = DenseMatrix::zeros(hi - lo, m);
+            for (p, assign) in self.assigns.iter().enumerate() {
+                let part = &partials[p];
+                for (local, &src) in assign[lo..hi].iter().enumerate() {
+                    let dst = out.row_mut(local);
+                    for (d, &v) in dst.iter_mut().zip(part.row(src)) {
+                        *d += v;
+                    }
+                }
+            }
+            out
+        });
+        let refs: Vec<&DenseMatrix> = chunks.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        let m = x.cols();
+        // Per part: group = Iᵀ X accumulated chunk-parallel, then Bᵀ group.
+        let blocks: Vec<DenseMatrix> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(p, table)| {
+                let n_b = table.rows();
+                let partial_groups = self.executor.map(self.n_chunks(), |ci| {
+                    let lo = self.chunk_offsets[ci];
+                    let hi = self.chunk_offsets[ci + 1];
+                    let mut group = DenseMatrix::zeros(n_b, m);
+                    for (local, &dst) in self.assigns[p][lo..hi].iter().enumerate() {
+                        let src = x.row(lo + local);
+                        let g = group.row_mut(dst);
+                        for (gv, &xv) in g.iter_mut().zip(src) {
+                            *gv += xv;
+                        }
+                    }
+                    group
+                });
+                let mut group = DenseMatrix::zeros(n_b, m);
+                for g in partial_groups {
+                    group.add_assign(&g);
+                }
+                table.t_matmul_dense(&group)
+            })
+            .collect();
+        let refs: Vec<&DenseMatrix> = blocks.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    fn rmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        // X T = [(X Iᵢ) Bᵢ]ᵢ: (X Iᵢ)[r, b] = Σ_{logical i: assign=b} X[r, i],
+        // i.e. the same group accumulation as t_lmm applied to Xᵀ.
+        let blocks: Vec<DenseMatrix> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(p, table)| {
+                let n_b = table.rows();
+                let rows = x.rows();
+                let partial = self.executor.map(self.n_chunks(), |ci| {
+                    let lo = self.chunk_offsets[ci];
+                    let hi = self.chunk_offsets[ci + 1];
+                    let mut xg = DenseMatrix::zeros(rows, n_b);
+                    for r in 0..rows {
+                        let src = x.row(r);
+                        let dst = xg.row_mut(r);
+                        for (local, &b) in self.assigns[p][lo..hi].iter().enumerate() {
+                            dst[b] += src[lo + local];
+                        }
+                    }
+                    xg
+                });
+                let mut xg = DenseMatrix::zeros(rows, n_b);
+                for g in partial {
+                    xg.add_assign(&g);
+                }
+                table.dense_matmul(&xg)
+            })
+            .collect();
+        let refs: Vec<&DenseMatrix> = blocks.iter().collect();
+        DenseMatrix::hstack_all(&refs)
+    }
+
+    fn crossprod(&self) -> DenseMatrix {
+        let offs = self.col_offsets();
+        let d = self.ncols();
+        let mut out = DenseMatrix::zeros(d, d);
+        let q = self.tables.len();
+        for i in 0..q {
+            // Diagonal block via the diag(colSums)^½ trick.
+            let mut counts = vec![0.0f64; self.tables[i].rows()];
+            for &a in &self.assigns[i] {
+                counts[a] += 1.0;
+            }
+            let weights: Vec<f64> = counts.iter().map(|&c| c.sqrt()).collect();
+            let diag = self.tables[i].scale_rows(&weights).crossprod();
+            out.set_block(offs[i], offs[i], &diag);
+            // Off-diagonal blocks via the co-occurrence matrix
+            // M = IᵢᵀIⱼ accumulated from the paired assignments.
+            for j in (i + 1)..q {
+                let trips: Vec<(usize, usize, f64)> = self.assigns[i]
+                    .iter()
+                    .zip(&self.assigns[j])
+                    .map(|(&a, &b)| (a, b, 1.0))
+                    .collect();
+                let m =
+                    CsrMatrix::from_triplets(self.tables[i].rows(), self.tables[j].rows(), &trips)
+                        .expect("crossprod: co-occurrence bounds");
+                let mbj = Matrix::Sparse(m).matmul(&self.tables[j]);
+                let block = t_cross(&self.tables[i], &mbj);
+                out.set_block(offs[j], offs[i], &block.transpose());
+                out.set_block(offs[i], offs[j], &block);
+            }
+        }
+        out
+    }
+
+    fn row_sums(&self) -> DenseMatrix {
+        let partials: Vec<DenseMatrix> = self.tables.iter().map(|t| t.row_sums()).collect();
+        let chunks = self.executor.map(self.n_chunks(), |ci| {
+            let lo = self.chunk_offsets[ci];
+            let hi = self.chunk_offsets[ci + 1];
+            let mut out = DenseMatrix::zeros(hi - lo, 1);
+            for (p, assign) in self.assigns.iter().enumerate() {
+                for (local, &src) in assign[lo..hi].iter().enumerate() {
+                    let v = out.get(local, 0) + partials[p].get(src, 0);
+                    out.set(local, 0, v);
+                }
+            }
+            out
+        });
+        let refs: Vec<&DenseMatrix> = chunks.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    fn col_sums(&self) -> DenseMatrix {
+        let blocks: Vec<DenseMatrix> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(p, table)| {
+                let mut counts = vec![0.0f64; table.rows()];
+                for &a in &self.assigns[p] {
+                    counts[a] += 1.0;
+                }
+                table.dense_matmul(&DenseMatrix::row_vector(&counts))
+            })
+            .collect();
+        let refs: Vec<&DenseMatrix> = blocks.iter().collect();
+        DenseMatrix::hstack_all(&refs)
+    }
+
+    fn sum(&self) -> f64 {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(p, table)| {
+                let rs = table.row_sums();
+                self.assigns[p].iter().map(|&a| rs.get(a, 0)).sum::<f64>()
+            })
+            .sum()
+    }
+
+    fn scale(&self, x: f64) -> Self {
+        let tables = self.tables.iter().map(|t| t.scalar_mul(x)).collect();
+        Self {
+            tables,
+            assigns: self.assigns.clone(),
+            chunk_offsets: self.chunk_offsets.clone(),
+            n_rows: self.n_rows,
+            executor: self.executor,
+        }
+    }
+
+    fn squared(&self) -> Self {
+        let tables = self.tables.iter().map(|t| t.scalar_pow(2.0)).collect();
+        Self {
+            tables,
+            assigns: self.assigns.clone(),
+            chunk_offsets: self.chunk_offsets.clone(),
+            n_rows: self.n_rows,
+            executor: self.executor,
+        }
+    }
+
+    fn ginv(&self) -> DenseMatrix {
+        let (n, d) = (self.nrows(), self.ncols());
+        if d < n {
+            let g = ginv_sym_psd(&self.crossprod());
+            self.lmm(&g).transpose()
+        } else {
+            let t = self.materialize().to_dense();
+            morpheus_linalg::ginv(&t)
+        }
+    }
+
+    fn materialize(&self) -> Matrix {
+        let blocks: Vec<Matrix> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(p, table)| table.gather_rows(&self.assigns[p]))
+            .collect();
+        let refs: Vec<&Matrix> = blocks.iter().collect();
+        Matrix::hstack_all(&refs)
+    }
+}
+
+/// `aᵀ b` across representations, returned dense.
+fn t_cross(a: &Matrix, b: &Matrix) -> DenseMatrix {
+    match (a, b) {
+        (Matrix::Dense(x), Matrix::Dense(y)) => x.t_matmul(y),
+        (Matrix::Sparse(x), Matrix::Dense(y)) => x.t_spmm_dense(y),
+        (Matrix::Dense(x), Matrix::Sparse(y)) => y.t_spmm_dense(x).transpose(),
+        (Matrix::Sparse(x), Matrix::Sparse(y)) => x.t_spgemm_dense(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> Vec<(NormalizedMatrix, ChunkedNormalizedMatrix)> {
+        let mut out = Vec::new();
+        // PK-FK.
+        let s = DenseMatrix::from_fn(23, 2, |i, j| ((i * 3 + j) % 7) as f64 - 2.0);
+        let r = DenseMatrix::from_fn(4, 3, |i, j| ((i * 2 + j) % 5) as f64 * 0.5);
+        let fk: Vec<usize> = (0..23).map(|i| (i * 5 + 1) % 4).collect();
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        let c = ChunkedNormalizedMatrix::from_normalized(&tn, 5, Executor::new(3));
+        out.push((tn, c));
+        // M:N.
+        let s2 = DenseMatrix::from_fn(6, 2, |i, j| (i + j) as f64);
+        let r2 = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 - 1.5);
+        let is: Vec<usize> = vec![0, 0, 1, 2, 3, 4, 5, 5, 2];
+        let ir: Vec<usize> = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let tn2 = NormalizedMatrix::mn_join(s2.into(), &is, r2.into(), &ir);
+        let c2 = ChunkedNormalizedMatrix::from_normalized(&tn2, 4, Executor::new(2));
+        out.push((tn2, c2));
+        // Star schema with two attribute tables of different widths.
+        let s3 = DenseMatrix::from_fn(11, 1, |i, _| i as f64 * 0.5);
+        let r3a = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let r3b = DenseMatrix::from_fn(2, 3, |i, j| (i + j) as f64 - 1.0);
+        let fk_a: Vec<usize> = (0..11).map(|i| i % 3).collect();
+        let fk_b: Vec<usize> = (0..11).map(|i| (i * 5 + 1) % 2).collect();
+        let tn3 = NormalizedMatrix::star(s3.into(), vec![(fk_a, r3a.into()), (fk_b, r3b.into())]);
+        let c3 = ChunkedNormalizedMatrix::from_normalized(&tn3, 3, Executor::new(2));
+        out.push((tn3, c3));
+        out
+    }
+
+    #[test]
+    fn materialize_matches_normalized() {
+        for (tn, c) in fixtures() {
+            assert!(c.materialize().approx_eq(&tn.materialize(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn lmm_matches() {
+        for (tn, c) in fixtures() {
+            let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| (i + 2 * j) as f64 * 0.3);
+            assert!(c.lmm(&x).approx_eq(&tn.lmm(&x), 1e-11));
+        }
+    }
+
+    #[test]
+    fn t_lmm_matches() {
+        for (tn, c) in fixtures() {
+            let x = DenseMatrix::from_fn(tn.rows(), 2, |i, j| ((i * 3 + j) % 4) as f64);
+            assert!(c.t_lmm(&x).approx_eq(&tn.t_lmm(&x), 1e-11));
+        }
+    }
+
+    #[test]
+    fn rmm_matches() {
+        for (tn, c) in fixtures() {
+            let x = DenseMatrix::from_fn(3, tn.rows(), |i, j| ((i + j) % 5) as f64 - 2.0);
+            assert!(c.rmm(&x).approx_eq(&tn.rmm(&x), 1e-11));
+        }
+    }
+
+    #[test]
+    fn crossprod_matches() {
+        for (tn, c) in fixtures() {
+            assert!(LinearOperand::crossprod(&c).approx_eq(&tn.crossprod(), 1e-10));
+        }
+    }
+
+    #[test]
+    fn aggregations_match() {
+        for (tn, c) in fixtures() {
+            assert!(LinearOperand::row_sums(&c).approx_eq(&tn.row_sums(), 1e-11));
+            assert!(LinearOperand::col_sums(&c).approx_eq(&tn.col_sums(), 1e-11));
+            assert!((LinearOperand::sum(&c) - tn.sum()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scalar_closure_and_ginv() {
+        for (tn, c) in fixtures() {
+            assert!(c
+                .scale(3.0)
+                .materialize()
+                .approx_eq(&tn.scalar_mul(3.0).materialize(), 1e-12));
+            assert!(c
+                .squared()
+                .materialize()
+                .approx_eq(&tn.scalar_pow(2.0).materialize(), 1e-12));
+            let p = LinearOperand::ginv(&c);
+            let t = tn.materialize().to_dense();
+            assert!(t.matmul(&p).matmul(&t).approx_eq(&t, 1e-7));
+        }
+    }
+
+    #[test]
+    fn logistic_regression_identical_across_backends() {
+        let (tn, c) = fixtures().remove(0);
+        let y = DenseMatrix::from_fn(tn.rows(), 1, |i, _| if i % 3 == 0 { 1.0 } else { -1.0 });
+        let trainer = morpheus_ml::logreg::LogisticRegressionGd::new(1e-2, 6);
+        let w_norm = trainer.fit(&tn, &y);
+        let w_chunk = trainer.fit(&c, &y);
+        assert!(w_norm.w.approx_eq(&w_chunk.w, 1e-10));
+    }
+}

@@ -1,0 +1,137 @@
+//! The chunk-at-a-time parallel executor (`ore.rowapply` analog).
+
+use std::sync::mpsc;
+
+/// A thread-pool-free parallel executor over chunk indices.
+///
+/// Work is distributed round-robin over `threads` crossbeam scoped threads;
+/// results are collected in chunk order. With `threads == 1` everything
+/// runs on the caller thread (deterministic, no spawn overhead), which is
+/// also the fallback when only one chunk exists.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Executor {
+    /// Creates an executor with an explicit worker count (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. `f` runs concurrently on up to `threads` workers.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        crossbeam::thread::scope(|scope| {
+            for tid in 0..workers {
+                let tx = tx.clone();
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut i = tid;
+                    while i < n {
+                        // A send only fails if the receiver hung up, which
+                        // cannot happen while this scope is alive.
+                        let _ = tx.send((i, f(i)));
+                        i += workers;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (i, v) in rx {
+                slots[i] = Some(v);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("executor: missing chunk result"))
+                .collect()
+        })
+        .expect("executor: worker thread panicked")
+    }
+
+    /// Applies `f` to every index and reduces the results with `combine`,
+    /// starting from `init`.
+    pub fn map_reduce<T, F, R>(&self, n: usize, f: F, init: T, combine: R) -> T
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        self.map(n, f).into_iter().fold(init, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let ex = Executor::new(4);
+        let out = ex.map(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_single_threaded_path() {
+        let ex = Executor::new(1);
+        assert_eq!(ex.map(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(ex.map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let ex = Executor::new(3);
+        let total = ex.map_reduce(100, |i| i as u64, 0u64, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn default_has_at_least_one_thread() {
+        assert!(Executor::default().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "executor:")]
+    fn worker_panics_propagate() {
+        Executor::new(2).map(4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = Executor::new(1).map(25, |i| (i * 31) % 7);
+        let parallel = Executor::new(8).map(25, |i| (i * 31) % 7);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,35 @@
+//! A row-chunked, thread-parallel linear-algebra backend — the workspace's
+//! stand-in for Oracle R Enterprise (§5.2.4 of the paper).
+//!
+//! ORE executes LA over larger-than-memory `ore.frame`s by partitioning
+//! tables into row chunks and pushing a function over each chunk
+//! (`ore.rowapply`). The paper's point in Tables 9 and 10 is architectural:
+//! because Morpheus rewrites close over plain LA operators, the factorized
+//! versions run on such a backend *without modifying it*. This crate
+//! reproduces that architecture:
+//!
+//! * [`ChunkedMatrix`] — a regular matrix stored as row chunks; every
+//!   [`LinearOperand`] operator is evaluated chunk-at-a-time, in parallel
+//!   across worker threads (crossbeam scoped threads — the `ore.rowapply`
+//!   analog).
+//! * [`ChunkedNormalizedMatrix`] — a normalized matrix whose *logical rows*
+//!   are chunked while the attribute tables stay shared, exactly how
+//!   Morpheus-on-ORE partitions the entity table but keeps the (small)
+//!   attribute tables resident. The factorized rewrites are expressed with
+//!   the same chunk-at-a-time primitive.
+//!
+//! Both types implement [`LinearOperand`], so the `morpheus-ml` algorithms
+//! run on them unchanged — the closure property, demonstrated end-to-end.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod chunked_matrix;
+mod chunked_normalized;
+mod executor;
+
+pub use chunked_matrix::ChunkedMatrix;
+pub use chunked_normalized::ChunkedNormalizedMatrix;
+pub use executor::Executor;
+
+pub(crate) use morpheus_core::LinearOperand;

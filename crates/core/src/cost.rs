@@ -1,0 +1,281 @@
+//! Arithmetic-computation cost model (§3.4, Table 3; appendix F, Table 11).
+//!
+//! The paper characterizes each rewrite by the number of arithmetic
+//! computations (multiplications + additions) of the standard (materialized)
+//! and factorized versions, ignoring lower-order terms. This module encodes
+//! those closed forms, the derived speedups, and their asymptotic limits:
+//! for most operators the speedup converges to `1 + FR` as `TR → ∞` and to
+//! `TR` as `FR → ∞`; for the cross-product it converges to `(1 + FR)²`
+//! because its cost is quadratic in `d`.
+//!
+//! The cost model is used by tests (validating the rewrites' complexity
+//! claims) and by the `table3` reproduction target.
+
+/// Dimensions of a two-table PK-FK join, in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dims {
+    /// Rows of the entity table S (= rows of T).
+    pub n_s: f64,
+    /// Features of S.
+    pub d_s: f64,
+    /// Rows of the attribute table R.
+    pub n_r: f64,
+    /// Features of R.
+    pub d_r: f64,
+}
+
+impl Dims {
+    /// Creates dimensions from integer sizes.
+    pub fn new(n_s: usize, d_s: usize, n_r: usize, d_r: usize) -> Self {
+        Self {
+            n_s: n_s as f64,
+            d_s: d_s as f64,
+            n_r: n_r as f64,
+            d_r: d_r as f64,
+        }
+    }
+
+    /// Tuple ratio `TR = n_S / n_R`.
+    pub fn tuple_ratio(&self) -> f64 {
+        self.n_s / self.n_r
+    }
+
+    /// Feature ratio `FR = d_R / d_S`.
+    pub fn feature_ratio(&self) -> f64 {
+        self.d_r / self.d_s
+    }
+
+    /// Total feature count `d = d_S + d_R`.
+    pub fn d(&self) -> f64 {
+        self.d_s + self.d_r
+    }
+}
+
+/// Arithmetic computation counts for one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Count for the standard (materialized) version.
+    pub standard: f64,
+    /// Count for the factorized version.
+    pub factorized: f64,
+}
+
+impl OpCost {
+    /// Predicted speedup `standard / factorized`.
+    pub fn speedup(&self) -> f64 {
+        self.standard / self.factorized
+    }
+}
+
+/// Element-wise scalar operators: `n_S d` vs `n_S d_S + n_R d_R` (Table 3).
+pub fn scalar_op(dm: &Dims) -> OpCost {
+    OpCost {
+        standard: dm.n_s * dm.d(),
+        factorized: dm.n_s * dm.d_s + dm.n_r * dm.d_r,
+    }
+}
+
+/// Aggregation operators share the scalar-op counts (Table 3).
+pub fn aggregation(dm: &Dims) -> OpCost {
+    scalar_op(dm)
+}
+
+/// LMM with a `d x d_X` parameter: `d_X n_S d` vs `d_X (n_S d_S + n_R d_R)`.
+pub fn lmm(dm: &Dims, d_x: f64) -> OpCost {
+    OpCost {
+        standard: d_x * dm.n_s * dm.d(),
+        factorized: d_x * (dm.n_s * dm.d_s + dm.n_r * dm.d_r),
+    }
+}
+
+/// RMM with an `n_X x n_S` parameter: `n_X n_S d` vs
+/// `n_X (n_S d_S + n_R d_R)`.
+pub fn rmm(dm: &Dims, n_x: f64) -> OpCost {
+    OpCost {
+        standard: n_x * dm.n_s * dm.d(),
+        factorized: n_x * (dm.n_s * dm.d_s + dm.n_r * dm.d_r),
+    }
+}
+
+/// Cross-product: `½ d² n_S` vs `½ d_S² n_S + ½ d_R² n_R + d_S d_R n_R`.
+pub fn crossprod(dm: &Dims) -> OpCost {
+    OpCost {
+        standard: 0.5 * dm.d() * dm.d() * dm.n_s,
+        factorized: 0.5 * dm.d_s * dm.d_s * dm.n_s
+            + 0.5 * dm.d_r * dm.d_r * dm.n_r
+            + dm.d_s * dm.d_r * dm.n_r,
+    }
+}
+
+/// Pseudo-inverse (Table 11), branching on `n_S > d` vs `n_S ≤ d`. The
+/// constants reflect R's economy-SVD (`7 n d² + 20 d³` for the standard
+/// route, a `27 d³` Jacobi-style inner inversion for the factorized route).
+pub fn pseudo_inverse(dm: &Dims) -> OpCost {
+    let d = dm.d();
+    if dm.n_s > d {
+        OpCost {
+            standard: 7.0 * dm.n_s * d * d + 20.0 * d * d * d,
+            factorized: 27.0 * d * d * d
+                + 0.5 * dm.d_s * dm.d_s * dm.n_s
+                + 0.5 * dm.d_r * dm.d_r * dm.n_r
+                + dm.d_s * dm.d_r * dm.n_r
+                + d * (dm.n_s * dm.d_s + dm.n_r * dm.d_r),
+        }
+    } else {
+        OpCost {
+            standard: 7.0 * dm.n_s * dm.n_s * d + 20.0 * dm.n_s * dm.n_s * dm.n_s,
+            factorized: 27.0 * dm.n_s * dm.n_s * dm.n_s
+                + 0.5 * dm.n_s * dm.n_s * dm.d_s
+                + 0.5 * dm.n_r * dm.n_r * dm.d_r
+                + dm.n_s * (dm.n_s * dm.d_s + dm.n_r * dm.d_r),
+        }
+    }
+}
+
+/// Asymptotic speedup of the linear-cost operators (scalar, aggregation,
+/// LMM, RMM) as `TR → ∞`: `1 + FR`.
+pub fn linear_limit_tr(fr: f64) -> f64 {
+    1.0 + fr
+}
+
+/// Asymptotic speedup of the linear-cost operators as `FR → ∞`: `TR`.
+pub fn linear_limit_fr(tr: f64) -> f64 {
+    tr
+}
+
+/// Asymptotic cross-product speedup as `TR → ∞`: `(1 + FR)²`.
+pub fn crossprod_limit_tr(fr: f64) -> f64 {
+    (1.0 + fr) * (1.0 + fr)
+}
+
+/// Asymptotic pseudo-inverse (`n > d`) speedup as `TR → ∞`:
+/// `14 (1 + FR)² / (2 FR + 3)` (Table 11).
+pub fn ginv_limit_tr(fr: f64) -> f64 {
+    14.0 * (1.0 + fr) * (1.0 + fr) / (2.0 * fr + 3.0)
+}
+
+/// Asymptotic pseudo-inverse (`n ≤ d`) speedup as `FR → ∞`:
+/// `14 TR² / (1 + TR)` (Table 11).
+pub fn ginv_limit_fr(tr: f64) -> f64 {
+    14.0 * tr * tr / (1.0 + tr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(tr: f64, fr: f64) -> Dims {
+        // Fix n_r and d_s, derive the rest from the ratios.
+        let n_r = 1.0e6;
+        let d_s = 20.0;
+        Dims {
+            n_s: tr * n_r,
+            d_s,
+            n_r,
+            d_r: fr * d_s,
+        }
+    }
+
+    #[test]
+    fn speedups_increase_with_both_ratios() {
+        let base = scalar_op(&dims(5.0, 1.0)).speedup();
+        assert!(scalar_op(&dims(10.0, 1.0)).speedup() > base);
+        assert!(scalar_op(&dims(5.0, 2.0)).speedup() > base);
+    }
+
+    #[test]
+    fn lmm_and_rmm_speedups_independent_of_parameter_width() {
+        let d = dims(10.0, 2.0);
+        let s1 = lmm(&d, 1.0).speedup();
+        let s8 = lmm(&d, 8.0).speedup();
+        assert!((s1 - s8).abs() < 1e-12);
+        assert!((rmm(&d, 3.0).speedup() - s1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_ops_converge_to_one_plus_fr() {
+        let fr = 3.0;
+        let sp = scalar_op(&dims(1.0e6, fr)).speedup();
+        assert!(
+            (sp - linear_limit_tr(fr)).abs() < 1e-3,
+            "speedup {sp} far from limit {}",
+            linear_limit_tr(fr)
+        );
+    }
+
+    #[test]
+    fn linear_ops_converge_to_tr() {
+        let tr = 15.0;
+        let sp = scalar_op(&dims(tr, 1.0e6)).speedup();
+        assert!((sp - linear_limit_fr(tr)).abs() / tr < 1e-3);
+    }
+
+    #[test]
+    fn crossprod_converges_to_squared_limit() {
+        let fr = 2.0;
+        let sp = crossprod(&dims(1.0e8, fr)).speedup();
+        assert!(
+            (sp - crossprod_limit_tr(fr)).abs() / crossprod_limit_tr(fr) < 1e-2,
+            "crossprod speedup {sp} vs limit {}",
+            crossprod_limit_tr(fr)
+        );
+    }
+
+    #[test]
+    fn crossprod_speedup_exceeds_linear_ops() {
+        // Quadratic-in-d cost ⇒ strictly larger wins at the same ratios.
+        let d = dims(20.0, 4.0);
+        assert!(crossprod(&d).speedup() > scalar_op(&d).speedup());
+    }
+
+    #[test]
+    fn ginv_tall_converges_to_table11_limit() {
+        let fr = 2.0;
+        // n > d branch with huge TR.
+        let d = dims(1.0e9, fr);
+        let sp = pseudo_inverse(&d).speedup();
+        let lim = ginv_limit_tr(fr);
+        assert!(
+            (sp - lim).abs() / lim < 1e-2,
+            "ginv speedup {sp} vs limit {lim}"
+        );
+    }
+
+    #[test]
+    fn ginv_branches_on_shape() {
+        // Wide case: n_S ≤ d.
+        let wide = Dims::new(50, 40, 10, 10_000);
+        let tall = Dims::new(100_000, 20, 1_000, 40);
+        assert!(wide.n_s <= wide.d());
+        assert!(tall.n_s > tall.d());
+        // Both must produce positive costs.
+        assert!(pseudo_inverse(&wide).standard > 0.0);
+        assert!(pseudo_inverse(&tall).factorized > 0.0);
+    }
+
+    #[test]
+    fn table3_example_row() {
+        // Spot-check Table 3 arithmetic with concrete numbers.
+        let d = Dims::new(100, 2, 10, 4);
+        let c = scalar_op(&d);
+        assert_eq!(c.standard, 600.0); // 100 * 6
+        assert_eq!(c.factorized, 240.0); // 100*2 + 10*4
+        let l = lmm(&d, 3.0);
+        assert_eq!(l.standard, 1800.0);
+        assert_eq!(l.factorized, 720.0);
+        let cp = crossprod(&d);
+        assert_eq!(cp.standard, 0.5 * 36.0 * 100.0);
+        assert_eq!(
+            cp.factorized,
+            0.5 * 4.0 * 100.0 + 0.5 * 16.0 * 10.0 + 8.0 * 10.0
+        );
+    }
+
+    #[test]
+    fn ratios_helpers() {
+        let d = Dims::new(100, 2, 10, 4);
+        assert_eq!(d.tuple_ratio(), 10.0);
+        assert_eq!(d.feature_ratio(), 2.0);
+        assert_eq!(d.d(), 6.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for normalized-matrix construction.
+
+use std::fmt;
+
+/// Errors produced when assembling a [`crate::NormalizedMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The normalized matrix has no attribute parts.
+    Empty,
+    /// Two parts disagree on the logical row count of `T`.
+    RowCountMismatch {
+        /// Expected logical row count.
+        expected: usize,
+        /// Index of the offending part.
+        part: usize,
+        /// Row count contributed by that part.
+        found: usize,
+    },
+    /// An indicator's column count differs from its base table's row count.
+    IndicatorTableMismatch {
+        /// Index of the offending part.
+        part: usize,
+        /// Indicator column count.
+        indicator_cols: usize,
+        /// Base-table row count.
+        table_rows: usize,
+    },
+    /// An indicator row is not a single `1.0` entry.
+    ///
+    /// The paper's indicator matrices (PK-FK `K`, M:N `I_S`/`I_R`) all have
+    /// exactly one non-zero of value one per row; several rewrites
+    /// (element-wise scalar ops, the `diag(colSums)` cross-product trick)
+    /// rely on it.
+    NotIndicator {
+        /// Index of the offending part.
+        part: usize,
+        /// Offending row within the indicator.
+        row: usize,
+    },
+    /// A base table referenced by position does not exist.
+    NoSuchPart(usize),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Empty => write!(f, "normalized matrix must have at least one part"),
+            CoreError::RowCountMismatch {
+                expected,
+                part,
+                found,
+            } => write!(
+                f,
+                "part {part} implies {found} logical rows, expected {expected}"
+            ),
+            CoreError::IndicatorTableMismatch {
+                part,
+                indicator_cols,
+                table_rows,
+            } => write!(
+                f,
+                "part {part}: indicator has {indicator_cols} columns but table has {table_rows} rows"
+            ),
+            CoreError::NotIndicator { part, row } => write!(
+                f,
+                "part {part}: indicator row {row} is not a single 1.0 entry"
+            ),
+            CoreError::NoSuchPart(i) => write!(f, "no attribute part at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias for results with [`CoreError`].
+pub type CoreResult<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::Empty.to_string().contains("at least one"));
+        assert!(CoreError::RowCountMismatch {
+            expected: 5,
+            part: 1,
+            found: 4
+        }
+        .to_string()
+        .contains("part 1"));
+        assert!(CoreError::NotIndicator { part: 0, row: 2 }
+            .to_string()
+            .contains("row 2"));
+    }
+}

@@ -1,0 +1,899 @@
+//! The normalized matrix: the paper's logical data type for join outputs.
+//!
+//! # Representation
+//!
+//! The paper presents three shapes of normalized matrix:
+//!
+//! * single PK-FK join (§3.1): `(S, K, R)` with `T = [S, K R]`,
+//! * star-schema multi-table PK-FK (§3.5): `(S, K₁…K_q, R₁…R_q)` with
+//!   `T = [S, K₁R₁, …, K_qR_q]`,
+//! * M:N join (§3.6): `(S, I_S, I_R, R)` with `T = [I_S S, I_R R]`, and the
+//!   multi-table M:N generalization of appendix E.
+//!
+//! All are instances of one scheme: `T = [I₀B₀, I₁B₁, …, I_qB_q]`, where
+//! each *part* pairs a base-table matrix `Bᵢ` with an *indicator*
+//! `Iᵢ` — either the identity (the untransformed entity table of a PK-FK
+//! join) or an explicit row-selection matrix with exactly one `1.0` per row.
+//! Every rewrite rule in this module tree is written once against this
+//! unified form; the paper's per-schema rules fall out as special cases
+//! (observed in appendix D: "if the join is PK-FK, `I_S = I` and the rules
+//! implicitly become equivalent to their §3.3 counterparts").
+//!
+//! # Transpose flag
+//!
+//! Following §3.2, `Tᵀ` does not build a new structure: a `transposed` flag
+//! is flipped and every operator dispatches through the appendix-A rules
+//! (e.g. `colSums(Tᵀ) → rowSums(T)ᵀ`), so repeated transposes are free and
+//! rewrite opportunities survive transposition.
+
+mod agg;
+mod crossprod;
+mod dmm;
+mod elementwise;
+mod ginv;
+mod mult;
+mod scalar;
+
+use crate::{CoreError, CoreResult, Matrix};
+use morpheus_dense::DenseMatrix;
+use morpheus_sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// How a part's base table maps into the logical join output.
+#[derive(Debug, Clone)]
+pub enum Indicator {
+    /// The part contributes its base table unchanged (PK-FK entity table).
+    Identity,
+    /// The part contributes `K * B` for an explicit indicator matrix `K`
+    /// (`n_rows x table_rows`, exactly one `1.0` per row). Shared via `Arc`
+    /// because indicators are immutable across rewrites — scalar operators
+    /// produce new base tables but reuse the indicators.
+    Rows(Arc<CsrMatrix>),
+}
+
+impl Indicator {
+    /// Logical output rows this indicator produces from `table_rows` input
+    /// rows.
+    pub fn n_out(&self, table_rows: usize) -> usize {
+        match self {
+            Indicator::Identity => table_rows,
+            Indicator::Rows(k) => k.rows(),
+        }
+    }
+
+    /// `true` for the identity indicator.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, Indicator::Identity)
+    }
+
+    /// The indicator as an explicit sparse matrix, if present.
+    pub fn as_rows(&self) -> Option<&CsrMatrix> {
+        match self {
+            Indicator::Identity => None,
+            Indicator::Rows(k) => Some(k),
+        }
+    }
+
+    /// `out += K * x` for dense `x`, without allocating the intermediate
+    /// `K x`. This is the hot inner step of the LMM rewrite; for one-hot
+    /// indicators it reduces to a gather-add.
+    ///
+    /// # Panics
+    /// Panics (debug) if shapes disagree.
+    pub(crate) fn apply_add_into(&self, x: &DenseMatrix, out: &mut DenseMatrix) {
+        debug_assert_eq!(x.cols(), out.cols());
+        match self {
+            Indicator::Identity => out.add_assign(x),
+            Indicator::Rows(k) => {
+                debug_assert_eq!(k.rows(), out.rows());
+                let m = out.cols();
+                if m == 1 {
+                    // Vector fast path: one fused gather-add per logical row.
+                    let xs = x.as_slice();
+                    let os = out.as_mut_slice();
+                    for (i, o) in os.iter_mut().enumerate() {
+                        let (cols, vals) = k.row(i);
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            *o += v * xs[c];
+                        }
+                    }
+                    return;
+                }
+                for i in 0..k.rows() {
+                    let (cols, vals) = k.row(i);
+                    let orow = out.row_mut(i);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let xrow = x.row(c);
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += v * xv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Kᵀ * x` for dense `x` (identity is free).
+    pub(crate) fn apply_t(&self, x: &DenseMatrix) -> DenseMatrix {
+        match self {
+            Indicator::Identity => x.clone(),
+            Indicator::Rows(k) => k.t_spmm_dense(x),
+        }
+    }
+
+    /// `x * K` for dense `x` (identity is free).
+    pub(crate) fn right_apply(&self, x: &DenseMatrix) -> DenseMatrix {
+        match self {
+            Indicator::Identity => x.clone(),
+            Indicator::Rows(k) => k.dense_spmm(x),
+        }
+    }
+
+    /// `colSums(K)` — how many logical rows reference each base-table row.
+    /// For the identity this is all ones.
+    pub(crate) fn reference_counts(&self, table_rows: usize) -> Vec<f64> {
+        match self {
+            Indicator::Identity => vec![1.0; table_rows],
+            Indicator::Rows(k) => k.col_sums().into_vec(),
+        }
+    }
+
+    /// The row assignment `a` with `K[i, a[i]] = 1` (identity ⇒ `a[i] = i`).
+    pub(crate) fn assignment(&self, table_rows: usize) -> Vec<usize> {
+        match self {
+            Indicator::Identity => (0..table_rows).collect(),
+            Indicator::Rows(k) => (0..k.rows()).map(|i| k.row(i).0[0]).collect(),
+        }
+    }
+
+    /// `K * m` for either representation of `m`. One-hot indicators reduce
+    /// this to a row gather.
+    pub(crate) fn apply_m(&self, m: &Matrix) -> Matrix {
+        match self {
+            Indicator::Identity => m.clone(),
+            Indicator::Rows(k) => {
+                let assign: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+                m.gather_rows(&assign)
+            }
+        }
+    }
+
+    /// `Kᵀ * m` for either representation of `m`.
+    pub(crate) fn apply_t_m(&self, m: &Matrix) -> Matrix {
+        match self {
+            Indicator::Identity => m.clone(),
+            Indicator::Rows(k) => match m {
+                Matrix::Dense(d) => Matrix::Dense(k.t_spmm_dense(d)),
+                Matrix::Sparse(s) => Matrix::Sparse(k.transpose().spgemm(s)),
+            },
+        }
+    }
+}
+
+/// One component of a normalized matrix: an indicator plus its base table.
+#[derive(Debug, Clone)]
+pub struct AttributePart {
+    pub(crate) indicator: Indicator,
+    pub(crate) table: Matrix,
+}
+
+impl AttributePart {
+    /// Creates a part from an indicator and a base table.
+    pub fn new(indicator: Indicator, table: Matrix) -> Self {
+        Self { indicator, table }
+    }
+
+    /// The part's indicator.
+    pub fn indicator(&self) -> &Indicator {
+        &self.indicator
+    }
+
+    /// The part's base-table matrix.
+    pub fn table(&self) -> &Matrix {
+        &self.table
+    }
+
+    /// Materializes this part's contribution `K * B` to the join output.
+    pub fn materialize(&self) -> Matrix {
+        match &self.indicator {
+            Indicator::Identity => self.table.clone(),
+            Indicator::Rows(_) => {
+                let assign = self.indicator.assignment(self.table.rows());
+                self.table.gather_rows(&assign)
+            }
+        }
+    }
+}
+
+/// Descriptive statistics of a normalized matrix, feeding the heuristic
+/// decision rule (§3.7) and the cost model (Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStats {
+    /// Logical rows of `T` (`n_S`).
+    pub n_rows: usize,
+    /// Total features `d = Σ dᵢ`.
+    pub d_total: usize,
+    /// Feature count of the entity part (`d_S`); 0 when there is none.
+    pub d_entity: usize,
+    /// `(n_i, d_i)` of every attribute part with an explicit indicator.
+    pub attr_dims: Vec<(usize, usize)>,
+    /// Tuple ratio `n_S / n_R` (paper §3.4); for multiple attribute tables
+    /// the *minimum* over parts — the most pessimistic redundancy estimate.
+    pub tuple_ratio: f64,
+    /// Feature ratio `d_R / d_S` (paper §3.4); for multiple attribute
+    /// tables the *sum* of attribute features over `d_S`.
+    pub feature_ratio: f64,
+}
+
+/// The normalized matrix `T = [I₀B₀, …, I_qB_q]` with a transpose flag.
+#[derive(Debug, Clone)]
+pub struct NormalizedMatrix {
+    pub(crate) parts: Vec<AttributePart>,
+    pub(crate) n_rows: usize,
+    pub(crate) transposed: bool,
+}
+
+impl NormalizedMatrix {
+    // ---------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------
+
+    /// Builds a normalized matrix from validated parts.
+    ///
+    /// Validation enforces the paper's structural invariants: at least one
+    /// part, consistent logical row counts, indicator/table shape agreement,
+    /// and the one-`1.0`-per-row indicator property.
+    pub fn try_from_parts(parts: Vec<AttributePart>) -> CoreResult<Self> {
+        if parts.is_empty() {
+            return Err(CoreError::Empty);
+        }
+        let n_rows = parts[0].indicator.n_out(parts[0].table.rows());
+        for (idx, part) in parts.iter().enumerate() {
+            let n = part.indicator.n_out(part.table.rows());
+            if n != n_rows {
+                return Err(CoreError::RowCountMismatch {
+                    expected: n_rows,
+                    part: idx,
+                    found: n,
+                });
+            }
+            if let Indicator::Rows(k) = &part.indicator {
+                if k.cols() != part.table.rows() {
+                    return Err(CoreError::IndicatorTableMismatch {
+                        part: idx,
+                        indicator_cols: k.cols(),
+                        table_rows: part.table.rows(),
+                    });
+                }
+                for i in 0..k.rows() {
+                    let (cols, vals) = k.row(i);
+                    if cols.len() != 1 || vals[0] != 1.0 {
+                        return Err(CoreError::NotIndicator { part: idx, row: i });
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            parts,
+            n_rows,
+            transposed: false,
+        })
+    }
+
+    /// Single PK-FK join (§3.1): entity table `s`, foreign key `fk`
+    /// (row numbers into `r`), attribute table `r`. `T = [S, K R]`.
+    ///
+    /// # Panics
+    /// Panics if `fk.len() != s.rows()` or any key is out of range; use
+    /// [`NormalizedMatrix::try_from_parts`] for fallible assembly.
+    pub fn pk_fk(s: Matrix, fk: &[usize], r: Matrix) -> Self {
+        assert_eq!(
+            fk.len(),
+            s.rows(),
+            "pk_fk: foreign-key column has {} entries for {} entity rows",
+            fk.len(),
+            s.rows()
+        );
+        let k = CsrMatrix::indicator(fk, r.rows());
+        Self::try_from_parts(vec![
+            AttributePart::new(Indicator::Identity, s),
+            AttributePart::new(Indicator::Rows(Arc::new(k)), r),
+        ])
+        .expect("pk_fk: invalid construction")
+    }
+
+    /// Star-schema multi-table PK-FK join (§3.5): one entity table and `q`
+    /// attribute tables, each with its own foreign-key column.
+    /// `T = [S, K₁R₁, …, K_qR_q]`.
+    ///
+    /// # Panics
+    /// Panics on shape inconsistencies.
+    pub fn star(s: Matrix, links: Vec<(Vec<usize>, Matrix)>) -> Self {
+        let n_s = s.rows();
+        let mut parts = vec![AttributePart::new(Indicator::Identity, s)];
+        for (i, (fk, r)) in links.into_iter().enumerate() {
+            assert_eq!(
+                fk.len(),
+                n_s,
+                "star: foreign key {i} has {} entries for {} entity rows",
+                fk.len(),
+                n_s
+            );
+            let k = CsrMatrix::indicator(&fk, r.rows());
+            parts.push(AttributePart::new(Indicator::Rows(Arc::new(k)), r));
+        }
+        Self::try_from_parts(parts).expect("star: invalid construction")
+    }
+
+    /// Two-table M:N join (§3.6) from precomputed provenance: row `i` of the
+    /// join output `T` combines `s` row `is_assign[i]` with `r` row
+    /// `ir_assign[i]`. `T = [I_S S, I_R R]`.
+    ///
+    /// # Panics
+    /// Panics if the assignment vectors have different lengths or reference
+    /// rows out of range.
+    pub fn mn_join(s: Matrix, is_assign: &[usize], r: Matrix, ir_assign: &[usize]) -> Self {
+        assert_eq!(
+            is_assign.len(),
+            ir_assign.len(),
+            "mn_join: provenance vectors differ in length"
+        );
+        let i_s = CsrMatrix::indicator(is_assign, s.rows());
+        let i_r = CsrMatrix::indicator(ir_assign, r.rows());
+        Self::try_from_parts(vec![
+            AttributePart::new(Indicator::Rows(Arc::new(i_s)), s),
+            AttributePart::new(Indicator::Rows(Arc::new(i_r)), r),
+        ])
+        .expect("mn_join: invalid construction")
+    }
+
+    /// Two-table M:N join from raw join-attribute columns: computes
+    /// `T' = π(S) ⋈_{J_S = J_R} π(R)` (the paper's non-deduplicating
+    /// projection join) and derives `I_S`/`I_R` from it.
+    pub fn mn_join_on_keys(s: Matrix, js: &[u64], r: Matrix, jr: &[u64]) -> Self {
+        assert_eq!(js.len(), s.rows(), "mn_join_on_keys: J_S length mismatch");
+        assert_eq!(jr.len(), r.rows(), "mn_join_on_keys: J_R length mismatch");
+        // Bucket R rows by join-key value.
+        let mut buckets: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, &v) in jr.iter().enumerate() {
+            buckets.entry(v).or_default().push(i);
+        }
+        let mut is_assign = Vec::new();
+        let mut ir_assign = Vec::new();
+        for (i, &v) in js.iter().enumerate() {
+            if let Some(rs) = buckets.get(&v) {
+                for &j in rs {
+                    is_assign.push(i);
+                    ir_assign.push(j);
+                }
+            }
+        }
+        Self::mn_join(s, &is_assign, r, &ir_assign)
+    }
+
+    /// Multi-table M:N join (appendix E): every part carries an explicit
+    /// indicator; there is no identity entity part.
+    /// `T = [I_{R1}R₁, …, I_{Rq}R_q]`.
+    pub fn multi_mn(parts: Vec<(Vec<usize>, Matrix)>) -> CoreResult<Self> {
+        let built: Vec<AttributePart> = parts
+            .into_iter()
+            .map(|(assign, table)| {
+                let k = CsrMatrix::indicator(&assign, table.rows());
+                AttributePart::new(Indicator::Rows(Arc::new(k)), table)
+            })
+            .collect();
+        Self::try_from_parts(built)
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors (transpose-aware)
+    // ---------------------------------------------------------------
+
+    /// Number of rows, respecting the transpose flag.
+    pub fn rows(&self) -> usize {
+        if self.transposed {
+            self.d_total()
+        } else {
+            self.n_rows
+        }
+    }
+
+    /// Number of columns, respecting the transpose flag.
+    pub fn cols(&self) -> usize {
+        if self.transposed {
+            self.n_rows
+        } else {
+            self.d_total()
+        }
+    }
+
+    /// `(rows, cols)`, respecting the transpose flag.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// `true` if the transpose flag is set.
+    pub fn is_transposed(&self) -> bool {
+        self.transposed
+    }
+
+    /// The parts `(Iᵢ, Bᵢ)` in order.
+    pub fn parts(&self) -> &[AttributePart] {
+        &self.parts
+    }
+
+    /// Logical (untransposed) row count `n`.
+    pub fn logical_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total feature count `d = Σ dᵢ` (untransposed columns).
+    pub fn d_total(&self) -> usize {
+        self.parts.iter().map(|p| p.table.cols()).sum()
+    }
+
+    /// Column offset of each part within `T`, plus the final total:
+    /// `[0, d₀, d₀+d₁, …, d]` — the paper's `d'ᵢ` values (§3.5).
+    pub fn col_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.parts.len() + 1);
+        let mut acc = 0usize;
+        offs.push(0);
+        for p in &self.parts {
+            acc += p.table.cols();
+            offs.push(acc);
+        }
+        offs
+    }
+
+    /// Transpose: flips the flag; no data moves (§3.2).
+    pub fn transpose(&self) -> NormalizedMatrix {
+        NormalizedMatrix {
+            parts: self.parts.clone(),
+            n_rows: self.n_rows,
+            transposed: !self.transposed,
+        }
+    }
+
+    /// Summary statistics (tuple ratio, feature ratio, …).
+    pub fn stats(&self) -> JoinStats {
+        let d_entity: usize = self
+            .parts
+            .iter()
+            .filter(|p| p.indicator.is_identity())
+            .map(|p| p.table.cols())
+            .sum();
+        let attr_dims: Vec<(usize, usize)> = self
+            .parts
+            .iter()
+            .filter(|p| !p.indicator.is_identity())
+            .map(|p| (p.table.rows(), p.table.cols()))
+            .collect();
+        let d_attr: usize = attr_dims.iter().map(|&(_, d)| d).sum();
+        let tuple_ratio = attr_dims
+            .iter()
+            .map(|&(n, _)| self.n_rows as f64 / n.max(1) as f64)
+            .fold(f64::INFINITY, f64::min);
+        let feature_ratio = if d_entity == 0 {
+            f64::INFINITY
+        } else {
+            d_attr as f64 / d_entity as f64
+        };
+        JoinStats {
+            n_rows: self.n_rows,
+            d_total: self.d_total(),
+            d_entity,
+            attr_dims,
+            tuple_ratio,
+            feature_ratio,
+        }
+    }
+
+    /// The redundancy ratio `size(T) / Σ size(base tables)` — how much
+    /// larger the materialized join is than the normalized representation.
+    pub fn redundancy_ratio(&self) -> f64 {
+        let t_size = (self.n_rows * self.d_total()) as f64;
+        let base: usize = self
+            .parts
+            .iter()
+            .map(|p| p.table.rows() * p.table.cols())
+            .sum();
+        t_size / (base.max(1)) as f64
+    }
+
+    // ---------------------------------------------------------------
+    // Materialization & pruning
+    // ---------------------------------------------------------------
+
+    /// Materializes the join output `T = [I₀B₀, …, I_qB_q]` (respecting the
+    /// transpose flag). This is the "M" side of every experiment.
+    pub fn materialize(&self) -> Matrix {
+        let blocks: Vec<Matrix> = self.parts.iter().map(|p| p.materialize()).collect();
+        let refs: Vec<&Matrix> = blocks.iter().collect();
+        let t = Matrix::hstack_all(&refs);
+        if self.transposed {
+            t.transpose()
+        } else {
+            t
+        }
+    }
+
+    /// Appends new logical rows — the incremental-maintenance extension the
+    /// paper points to via LINVIEW (§6, "to handle evolving data").
+    ///
+    /// `s_new` holds the new entity-feature rows (required iff the matrix
+    /// has an identity part) and `fk_new[i]` holds the new foreign-key /
+    /// provenance column for the `i`-th explicit-indicator part, in part
+    /// order. Attribute tables are shared untouched; indicators grow by the
+    /// new rows. Works for PK-FK, star, and M:N shapes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError`] variants when the additions are inconsistent
+    /// (wrong column count, wrong number of key vectors, out-of-range keys).
+    pub fn append_rows(
+        &self,
+        s_new: Option<&Matrix>,
+        fk_new: &[Vec<usize>],
+    ) -> CoreResult<NormalizedMatrix> {
+        if self.transposed {
+            // Appending rows to Tᵀ would be appending columns; unsupported.
+            return Err(CoreError::Empty);
+        }
+        let n_added = match (s_new, fk_new.first()) {
+            (Some(m), _) => m.rows(),
+            (None, Some(fk)) => fk.len(),
+            (None, None) => 0,
+        };
+        let n_indicator_parts = self
+            .parts
+            .iter()
+            .filter(|p| !p.indicator.is_identity())
+            .count();
+        if fk_new.len() != n_indicator_parts {
+            return Err(CoreError::RowCountMismatch {
+                expected: n_indicator_parts,
+                part: fk_new.len(),
+                found: fk_new.len(),
+            });
+        }
+        let mut fk_iter = fk_new.iter();
+        let mut parts = Vec::with_capacity(self.parts.len());
+        for (idx, part) in self.parts.iter().enumerate() {
+            match &part.indicator {
+                Indicator::Identity => {
+                    let add = s_new.ok_or(CoreError::NoSuchPart(idx))?;
+                    if add.cols() != part.table.cols() || add.rows() != n_added {
+                        return Err(CoreError::IndicatorTableMismatch {
+                            part: idx,
+                            indicator_cols: add.cols(),
+                            table_rows: part.table.cols(),
+                        });
+                    }
+                    parts.push(AttributePart::new(
+                        Indicator::Identity,
+                        part.table.vstack(add),
+                    ));
+                }
+                Indicator::Rows(k) => {
+                    let fk = fk_iter.next().expect("counted above");
+                    if fk.len() != n_added {
+                        return Err(CoreError::RowCountMismatch {
+                            expected: n_added,
+                            part: idx,
+                            found: fk.len(),
+                        });
+                    }
+                    for (row, &key) in fk.iter().enumerate() {
+                        if key >= part.table.rows() {
+                            return Err(CoreError::NotIndicator { part: idx, row });
+                        }
+                    }
+                    let k_add = CsrMatrix::indicator(fk, part.table.rows());
+                    parts.push(AttributePart::new(
+                        Indicator::Rows(Arc::new(k.vstack(&k_add))),
+                        part.table.clone(),
+                    ));
+                }
+            }
+        }
+        NormalizedMatrix::try_from_parts(parts)
+    }
+
+    /// Drops base-table rows that no logical row references (§3.1/§3.7:
+    /// "we can remove from R all the tuples that are never referred to in
+    /// S"), remapping the indicators. Identity parts are untouched.
+    pub fn prune(&self) -> NormalizedMatrix {
+        let parts = self
+            .parts
+            .iter()
+            .map(|p| match &p.indicator {
+                Indicator::Identity => p.clone(),
+                Indicator::Rows(k) => {
+                    let counts = k.col_sums();
+                    let keep: Vec<usize> = counts
+                        .as_slice()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0.0)
+                        .map(|(j, _)| j)
+                        .collect();
+                    if keep.len() == k.cols() {
+                        return p.clone();
+                    }
+                    let mut remap = vec![usize::MAX; k.cols()];
+                    for (new, &old) in keep.iter().enumerate() {
+                        remap[old] = new;
+                    }
+                    let assign: Vec<usize> = (0..k.rows()).map(|i| remap[k.row(i).0[0]]).collect();
+                    let new_k = CsrMatrix::indicator(&assign, keep.len());
+                    AttributePart::new(Indicator::Rows(Arc::new(new_k)), p.table.gather_rows(&keep))
+                }
+            })
+            .collect();
+        NormalizedMatrix {
+            parts,
+            n_rows: self.n_rows,
+            transposed: self.transposed,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    //! Shared fixtures used by the rewrite-rule test modules.
+    use super::*;
+
+    /// The paper's Figure 2 example: S is 5x2, R is 2x2, K from fk [0,1,1,0,1].
+    pub fn figure2() -> NormalizedMatrix {
+        let s = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[4.0, 3.0],
+            &[5.0, 6.0],
+            &[8.0, 7.0],
+            &[9.0, 1.0],
+        ]);
+        let r = DenseMatrix::from_rows(&[&[1.1, 2.2], &[3.3, 4.4]]);
+        NormalizedMatrix::pk_fk(s.into(), &[0, 1, 1, 0, 1], r.into())
+    }
+
+    /// A star-schema join with two attribute tables of different widths.
+    pub fn star2() -> NormalizedMatrix {
+        let s = DenseMatrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64 + 0.5);
+        let r1 = DenseMatrix::from_fn(3, 2, |i, j| (10 + i * 2 + j) as f64);
+        let r2 = DenseMatrix::from_fn(2, 3, |i, j| -((i * 3 + j) as f64) - 1.0);
+        NormalizedMatrix::star(
+            s.into(),
+            vec![
+                (vec![0, 1, 2, 0, 1, 2], r1.into()),
+                (vec![1, 0, 0, 1, 1, 0], r2.into()),
+            ],
+        )
+    }
+
+    /// A two-table M:N join built from raw key columns.
+    pub fn mn() -> NormalizedMatrix {
+        let s = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64 + 1.0);
+        let r = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 * 0.5 + 0.1);
+        // keys: S = [7, 8, 7, 9], R = [7, 7, 8] → |T'| = 2*2 + 1*1 = 5
+        NormalizedMatrix::mn_join_on_keys(s.into(), &[7, 8, 7, 9], r.into(), &[7, 7, 8])
+    }
+
+    /// A sparse-table PK-FK join (both S and R sparse one-hot).
+    pub fn sparse_pkfk() -> NormalizedMatrix {
+        let s = CsrMatrix::from_triplets(
+            5,
+            3,
+            &[
+                (0, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (3, 0, 1.0),
+                (4, 2, 1.0),
+            ],
+        )
+        .unwrap();
+        let r = CsrMatrix::from_triplets(2, 4, &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 1.0)]).unwrap();
+        NormalizedMatrix::pk_fk(s.into(), &[1, 0, 0, 1, 0], r.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::*;
+    use super::*;
+
+    #[test]
+    fn pk_fk_materializes_join() {
+        let tn = figure2();
+        assert_eq!(tn.shape(), (5, 4));
+        let t = tn.materialize().to_dense();
+        // Row 0 joins S row 0 with R row 0, row 1 with R row 1, etc.
+        assert_eq!(t.row(0), &[1.0, 2.0, 1.1, 2.2]);
+        assert_eq!(t.row(1), &[4.0, 3.0, 3.3, 4.4]);
+        assert_eq!(t.row(3), &[8.0, 7.0, 1.1, 2.2]);
+    }
+
+    #[test]
+    fn star_materializes_all_parts() {
+        let tn = star2();
+        assert_eq!(tn.shape(), (6, 7));
+        assert_eq!(tn.col_offsets(), vec![0, 2, 4, 7]);
+        let t = tn.materialize().to_dense();
+        assert_eq!(t.get(0, 2), 10.0); // r1 row 0 col 0
+        assert_eq!(t.get(0, 4), -4.0); // r2 row 1 col 0
+    }
+
+    #[test]
+    fn mn_join_on_keys_builds_cross_pairs() {
+        let tn = mn();
+        // S keys [7,8,7,9]; R keys [7,7,8] → matches: s0×{r0,r1}, s1×{r2}, s2×{r0,r1} = 5 rows
+        assert_eq!(tn.logical_rows(), 5);
+        let t = tn.materialize().to_dense();
+        assert_eq!(t.rows(), 5);
+        // Every output row must be [s_row, r_row] for a matching key pair.
+        assert_eq!(t.row(0)[0..2], [1.0, 2.0]); // s row 0
+    }
+
+    #[test]
+    fn transpose_flips_shape_only() {
+        let tn = figure2();
+        let tt = tn.transpose();
+        assert_eq!(tt.shape(), (4, 5));
+        assert!(tt.is_transposed());
+        assert!(!tt.transpose().is_transposed());
+        let mt = tt.materialize().to_dense();
+        assert_eq!(mt, tn.materialize().to_dense().transpose());
+    }
+
+    #[test]
+    fn stats_match_paper_definitions() {
+        let tn = figure2();
+        let st = tn.stats();
+        assert_eq!(st.n_rows, 5);
+        assert_eq!(st.d_total, 4);
+        assert_eq!(st.d_entity, 2);
+        assert_eq!(st.attr_dims, vec![(2, 2)]);
+        assert!((st.tuple_ratio - 2.5).abs() < 1e-12);
+        assert!((st.feature_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_ratio_reflects_join_blowup() {
+        let tn = figure2();
+        // T is 5x4 = 20; bases are 5x2 + 2x2 = 14.
+        assert!((tn.redundancy_ratio() - 20.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_structures() {
+        let s = DenseMatrix::zeros(3, 2);
+        let r = DenseMatrix::zeros(2, 2);
+        // Row-count mismatch between parts.
+        let k_bad = CsrMatrix::indicator(&[0, 1], 2); // only 2 logical rows
+        let err = NormalizedMatrix::try_from_parts(vec![
+            AttributePart::new(Indicator::Identity, Matrix::Dense(s.clone())),
+            AttributePart::new(Indicator::Rows(Arc::new(k_bad)), Matrix::Dense(r.clone())),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::RowCountMismatch { .. }));
+
+        // Indicator with a non-1.0 value.
+        let k_val =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 2.0), (1, 1, 1.0), (2, 0, 1.0)]).unwrap();
+        let err = NormalizedMatrix::try_from_parts(vec![
+            AttributePart::new(Indicator::Identity, Matrix::Dense(s.clone())),
+            AttributePart::new(Indicator::Rows(Arc::new(k_val)), Matrix::Dense(r.clone())),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotIndicator { part: 1, row: 0 }));
+
+        // Indicator/table mismatch.
+        let k_wide = CsrMatrix::indicator(&[0, 1, 2], 3);
+        let err = NormalizedMatrix::try_from_parts(vec![
+            AttributePart::new(Indicator::Identity, Matrix::Dense(s)),
+            AttributePart::new(Indicator::Rows(Arc::new(k_wide)), Matrix::Dense(r)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::IndicatorTableMismatch { .. }));
+
+        assert!(matches!(
+            NormalizedMatrix::try_from_parts(vec![]),
+            Err(CoreError::Empty)
+        ));
+    }
+
+    #[test]
+    fn prune_drops_unreferenced_rows() {
+        let s = DenseMatrix::from_fn(3, 1, |i, _| i as f64);
+        let r = DenseMatrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        // Only R rows 0 and 2 are referenced.
+        let tn = NormalizedMatrix::pk_fk(s.into(), &[2, 0, 2], r.into());
+        let before = tn.materialize();
+        let pruned = tn.prune();
+        assert_eq!(pruned.parts()[1].table().rows(), 2);
+        assert!(pruned.materialize().approx_eq(&before, 1e-12));
+    }
+
+    #[test]
+    fn prune_noop_when_all_referenced() {
+        let tn = figure2();
+        let pruned = tn.prune();
+        assert_eq!(pruned.parts()[1].table().rows(), 2);
+        assert!(pruned.materialize().approx_eq(&tn.materialize(), 1e-12));
+    }
+
+    #[test]
+    fn sparse_parts_materialize_sparse() {
+        let tn = sparse_pkfk();
+        let t = tn.materialize();
+        assert!(t.is_sparse());
+        assert_eq!(t.shape(), (5, 7));
+    }
+
+    #[test]
+    fn append_rows_matches_rebuilt_join() {
+        let tn = figure2();
+        // Two new customers referencing R rows 1 and 0.
+        let s_new = Matrix::Dense(DenseMatrix::from_rows(&[&[10.0, 11.0], &[12.0, 13.0]]));
+        let grown = tn.append_rows(Some(&s_new), &[vec![1, 0]]).unwrap();
+        assert_eq!(grown.logical_rows(), 7);
+        let t = grown.materialize().to_dense();
+        assert_eq!(t.row(5), &[10.0, 11.0, 3.3, 4.4]);
+        assert_eq!(t.row(6), &[12.0, 13.0, 1.1, 2.2]);
+        // Old rows untouched.
+        assert_eq!(t.row(0), &[1.0, 2.0, 1.1, 2.2]);
+        // Operators keep working on the grown matrix.
+        let x = DenseMatrix::from_fn(4, 1, |i, _| i as f64 + 1.0);
+        assert!(grown
+            .lmm(&x)
+            .approx_eq(&grown.materialize().matmul_dense(&x), 1e-12));
+    }
+
+    #[test]
+    fn append_rows_mn_join() {
+        let tn = mn();
+        let before = tn.logical_rows();
+        // One new logical pair: S row 0 with R row 2.
+        let grown = tn.append_rows(None, &[vec![0], vec![2]]).unwrap();
+        assert_eq!(grown.logical_rows(), before + 1);
+        assert!(grown
+            .materialize()
+            .to_dense()
+            .slice_rows(0..before)
+            .approx_eq(&tn.materialize().to_dense(), 1e-12));
+    }
+
+    #[test]
+    fn append_rows_validates() {
+        let tn = figure2();
+        let s_new = Matrix::Dense(DenseMatrix::from_rows(&[&[1.0, 2.0]]));
+        // Wrong number of key vectors.
+        assert!(tn.append_rows(Some(&s_new), &[]).is_err());
+        // Key out of range.
+        assert!(tn.append_rows(Some(&s_new), &[vec![9]]).is_err());
+        // Mismatched counts between S rows and keys.
+        assert!(tn.append_rows(Some(&s_new), &[vec![0, 1]]).is_err());
+        // Missing entity rows when an identity part exists.
+        assert!(tn.append_rows(None, &[vec![0]]).is_err());
+        // Transposed matrices cannot be appended to.
+        assert!(tn
+            .transpose()
+            .append_rows(Some(&s_new), &[vec![0]])
+            .is_err());
+    }
+
+    #[test]
+    fn multi_mn_has_no_identity_part() {
+        let r1 = DenseMatrix::from_fn(2, 1, |i, _| i as f64 + 1.0);
+        let r2 = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let tn = NormalizedMatrix::multi_mn(vec![
+            (vec![0, 1, 1, 0], Matrix::Dense(r1)),
+            (vec![2, 0, 1, 1], Matrix::Dense(r2)),
+        ])
+        .unwrap();
+        assert_eq!(tn.shape(), (4, 3));
+        assert!(tn.parts().iter().all(|p| !p.indicator().is_identity()));
+        let t = tn.materialize().to_dense();
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]); // r1 row 0, r2 row 2
+    }
+}

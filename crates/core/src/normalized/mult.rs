@@ -1,0 +1,242 @@
+//! Left and right matrix multiplication (LMM §3.3.3, RMM §3.3.4, §3.5,
+//! App. A/D/E) — the workhorse rewrites of factorized ML.
+//!
+//! Over `T = [I₀B₀, …, I_qB_q]` with column offsets `d'ᵢ`:
+//!
+//! ```text
+//! LMM  T X → Σᵢ Iᵢ (Bᵢ X[d'ᵢ₋₁ : d'ᵢ, ])
+//! RMM  X T → [(X I₀)B₀, …, (X I_q)B_q]
+//! ```
+//!
+//! The multiplication *order* is the crux (§3.3.3): `Iᵢ(BᵢXᵢ)` costs
+//! `O(nᵢ dᵢ m + n m)` while `(IᵢBᵢ)Xᵢ` is equivalent to materializing the
+//! join and costs `O(n dᵢ m)`. [`NormalizedMatrix::lmm_materialized_order`]
+//! keeps the bad order around for the ablation benchmark.
+//!
+//! Transposed forms (appendix A): `Tᵀ X → (Xᵀ T)ᵀ` and `X Tᵀ → (T Xᵀ)ᵀ`,
+//! which dispatch back onto the untransposed rewrites.
+
+use super::NormalizedMatrix;
+use morpheus_dense::DenseMatrix;
+
+impl NormalizedMatrix {
+    /// Left matrix multiplication `T X` (`X` is `cols() x m` dense).
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.cols()`.
+    pub fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            x.rows(),
+            self.cols(),
+            "lmm: X has {} rows for a {}x{} normalized matrix",
+            x.rows(),
+            self.rows(),
+            self.cols()
+        );
+        if self.transposed {
+            self.t_lmm_raw(x)
+        } else {
+            self.lmm_raw(x)
+        }
+    }
+
+    /// Transposed LMM `Tᵀ X` without materializing the transpose
+    /// (`X` is `rows() x m`).
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.rows()`.
+    pub fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            x.rows(),
+            self.rows(),
+            "t_lmm: X has {} rows for a {}x{} normalized matrix",
+            x.rows(),
+            self.rows(),
+            self.cols()
+        );
+        if self.transposed {
+            self.lmm_raw(x)
+        } else {
+            self.t_lmm_raw(x)
+        }
+    }
+
+    /// Right matrix multiplication `X T` (`X` is `m x rows()` dense).
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != self.rows()`.
+    pub fn rmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            x.cols(),
+            self.rows(),
+            "rmm: X has {} cols for a {}x{} normalized matrix",
+            x.cols(),
+            self.rows(),
+            self.cols()
+        );
+        if self.transposed {
+            // X Tᵀ → (T Xᵀ)ᵀ
+            self.lmm_raw(&x.transpose()).transpose()
+        } else {
+            self.rmm_raw(x)
+        }
+    }
+
+    /// `T X` in the *materializing* multiplication order `(Iᵢ Bᵢ) Xᵢ` —
+    /// logically equal to [`NormalizedMatrix::lmm`] but with the redundancy
+    /// the paper warns about. Exposed for the ablation study only.
+    pub fn lmm_materialized_order(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert!(
+            !self.transposed,
+            "ablation helper expects untransposed input"
+        );
+        let offsets = self.col_offsets();
+        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
+        for (p, w) in self.parts.iter().zip(offsets.windows(2)) {
+            let xi = x.slice_rows(w[0]..w[1]);
+            let materialized_part = p.materialize(); // Iᵢ Bᵢ — the bad order
+            acc.add_assign(&materialized_part.matmul_dense(&xi));
+        }
+        acc
+    }
+
+    pub(crate) fn lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
+        let offsets = self.col_offsets();
+        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
+        for (p, w) in self.parts.iter().zip(offsets.windows(2)) {
+            let xi = x.slice_rows(w[0]..w[1]);
+            // The good order: Bᵢ Xᵢ first (small), then the indicator as a
+            // fused gather-add — no intermediate n x m matrix.
+            let partial = p.table.matmul_dense(&xi);
+            p.indicator.apply_add_into(&partial, &mut acc);
+        }
+        acc
+    }
+
+    pub(crate) fn t_lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
+        // Tᵀ X = [B₀ᵀ(I₀ᵀX); …; B_qᵀ(I_qᵀX)] stacked vertically.
+        let blocks: Vec<DenseMatrix> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let pulled = p.indicator.apply_t(x);
+                p.table.t_matmul_dense(&pulled)
+            })
+            .collect();
+        let refs: Vec<&DenseMatrix> = blocks.iter().collect();
+        DenseMatrix::vstack_all(&refs)
+    }
+
+    pub(crate) fn rmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
+        // X T = [(X I₀)B₀, …, (X I_q)B_q] stacked horizontally.
+        let blocks: Vec<DenseMatrix> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let pushed = p.indicator.right_apply(x);
+                p.table.dense_matmul(&pushed)
+            })
+            .collect();
+        let refs: Vec<&DenseMatrix> = blocks.iter().collect();
+        DenseMatrix::hstack_all(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_fixtures::*;
+    use morpheus_dense::DenseMatrix;
+
+    fn param(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0)
+    }
+
+    #[test]
+    fn lmm_matches_materialized() {
+        for tn in [figure2(), star2(), mn(), sparse_pkfk()] {
+            let x = param(tn.cols(), 3);
+            let f = tn.lmm(&x);
+            let m = tn.materialize().matmul_dense(&x);
+            assert!(f.approx_eq(&m, 1e-12));
+        }
+    }
+
+    #[test]
+    fn lmm_vector_case() {
+        // dX = 1: the GLM inner-product case factorized in Kumar et al. [26].
+        let tn = figure2();
+        let w = param(4, 1);
+        let f = tn.lmm(&w);
+        let m = tn.materialize().matmul_dense(&w);
+        assert!(f.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn figure2_worked_example() {
+        // Figure 2 of the paper: X = [1; 2; 3; 4], T X = [17.1; 37.5; 44.5; 34.1; 38.5].
+        let tn = figure2();
+        let x = DenseMatrix::col_vector(&[1.0, 2.0, 3.0, 4.0]);
+        let out = tn.lmm(&x);
+        let expected = DenseMatrix::col_vector(&[17.1, 37.5, 44.5, 34.1, 38.5]);
+        assert!(out.approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn t_lmm_matches_materialized() {
+        for tn in [figure2(), star2(), mn(), sparse_pkfk()] {
+            let x = param(tn.rows(), 2);
+            let f = tn.t_lmm(&x);
+            let m = tn.materialize().t_matmul_dense(&x);
+            assert!(f.approx_eq(&m, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rmm_matches_materialized() {
+        for tn in [figure2(), star2(), mn(), sparse_pkfk()] {
+            let x = param(3, tn.rows());
+            let f = tn.rmm(&x);
+            let m = tn.materialize().dense_matmul(&x);
+            assert!(f.approx_eq(&m, 1e-12));
+        }
+    }
+
+    #[test]
+    fn transposed_operators_dispatch_correctly() {
+        for tn in [figure2(), star2(), mn()] {
+            let tt = tn.transpose();
+            let mt = tt.materialize(); // d x n regular matrix
+
+            let x = param(tt.cols(), 2); // Tᵀ X
+            assert!(tt.lmm(&x).approx_eq(&mt.matmul_dense(&x), 1e-12));
+
+            let y = param(tt.rows(), 2); // (Tᵀ)ᵀ Y = T Y
+            assert!(tt.t_lmm(&y).approx_eq(&mt.t_matmul_dense(&y), 1e-12));
+
+            let z = param(2, tt.rows()); // Z Tᵀ
+            assert!(tt.rmm(&z).approx_eq(&mt.dense_matmul(&z), 1e-12));
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let tn = figure2();
+        let x = param(tn.cols(), 2);
+        let back = tn.transpose().transpose();
+        assert!(back.lmm(&x).approx_eq(&tn.lmm(&x), 1e-12));
+    }
+
+    #[test]
+    fn materialized_order_ablation_is_equivalent() {
+        for tn in [figure2(), star2(), mn()] {
+            let x = param(tn.cols(), 2);
+            assert!(tn.lmm_materialized_order(&x).approx_eq(&tn.lmm(&x), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lmm: X has")]
+    fn lmm_shape_mismatch_panics() {
+        figure2().lmm(&DenseMatrix::zeros(3, 1));
+    }
+}

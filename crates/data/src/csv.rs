@@ -1,0 +1,297 @@
+//! CSV ingestion: building a normalized matrix from base-table files.
+//!
+//! Mirrors the paper's §3.2 construction snippet:
+//!
+//! ```r
+//! S = read.csv("S.csv") //foreign key name K
+//! R = read.csv("R.csv")
+//! K = sparseMatrix(i=1:nrow(S), j=S[,"K"], x=1)
+//! TN = NormalizedMatrix(EntTable=list(S), AttTables=list(R), KIndicators=list(K))
+//! ```
+//!
+//! Files are headered, comma-separated, all-numeric. Foreign-key columns
+//! hold 0-based row numbers of the referenced table (the paper assumes RID
+//! and K "are already sequential row numbers").
+
+use morpheus_core::{Matrix, NormalizedMatrix};
+use morpheus_dense::DenseMatrix;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from CSV parsing and normalized-matrix assembly.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file had no header row.
+    MissingHeader,
+    /// A named column was not found in the header.
+    NoSuchColumn(String),
+    /// A data row had the wrong number of fields.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Raw text.
+        text: String,
+    },
+    /// A foreign-key value was out of range for the referenced table.
+    BadForeignKey {
+        /// 1-based line number.
+        line: usize,
+        /// Parsed key value.
+        key: usize,
+        /// Rows in the referenced table.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::MissingHeader => write!(f, "file has no header row"),
+            CsvError::NoSuchColumn(c) => write!(f, "no column named '{c}'"),
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} fields, expected {expected}"),
+            CsvError::BadNumber { line, column, text } => {
+                write!(f, "line {line}, column '{column}': cannot parse '{text}'")
+            }
+            CsvError::BadForeignKey { line, key, rows } => {
+                write!(
+                    f,
+                    "line {line}: foreign key {key} out of range ({rows} rows)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// A parsed CSV table: header names plus a dense numeric matrix.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub columns: Vec<String>,
+    /// Row-major numeric payload.
+    pub data: DenseMatrix,
+}
+
+impl CsvTable {
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize, CsvError> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| CsvError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Copies one column out as `Vec<f64>`.
+    pub fn column(&self, name: &str) -> Result<Vec<f64>, CsvError> {
+        let idx = self.column_index(name)?;
+        Ok(self.data.col(idx))
+    }
+
+    /// The feature matrix with the named columns removed (e.g. dropping the
+    /// target and foreign-key columns).
+    pub fn features_without(&self, drop: &[&str]) -> Result<DenseMatrix, CsvError> {
+        let mut drop_idx = Vec::with_capacity(drop.len());
+        for name in drop {
+            drop_idx.push(self.column_index(name)?);
+        }
+        let keep: Vec<usize> = (0..self.columns.len())
+            .filter(|i| !drop_idx.contains(i))
+            .collect();
+        let mut out = DenseMatrix::zeros(self.data.rows(), keep.len());
+        for r in 0..self.data.rows() {
+            let src = self.data.row(r);
+            for (dst_c, &src_c) in keep.iter().enumerate() {
+                out.set(r, dst_c, src[src_c]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Reads a headered, all-numeric CSV file.
+pub fn read_csv(path: &Path) -> Result<CsvTable, CsvError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let columns: Vec<String> = header.split(',').map(|c| c.trim().to_string()).collect();
+    let width = columns.len();
+    let mut values = Vec::new();
+    let mut rows = 0usize;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow {
+                line: i + 1,
+                found: fields.len(),
+                expected: width,
+            });
+        }
+        for (c, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: i + 1,
+                column: columns[c].clone(),
+                text: field.trim().to_string(),
+            })?;
+            values.push(v);
+        }
+        rows += 1;
+    }
+    let data = DenseMatrix::from_vec(rows, width, values)
+        .expect("read_csv: internal shape accounting error");
+    Ok(CsvTable { columns, data })
+}
+
+/// The result of loading a PK-FK schema from CSV files.
+pub struct LoadedPkFk {
+    /// The normalized matrix over the loaded base tables.
+    pub tn: NormalizedMatrix,
+    /// The target column from the entity table, if requested.
+    pub y: Option<DenseMatrix>,
+}
+
+/// Loads entity table `s_path` and attribute table `r_path` and assembles
+/// the normalized matrix, following the paper's construction. `fk_column`
+/// names the 0-based foreign-key column in S; `target_column` (optional)
+/// names the label column, which is excluded from the features.
+pub fn load_pk_fk(
+    s_path: &Path,
+    fk_column: &str,
+    target_column: Option<&str>,
+    r_path: &Path,
+) -> Result<LoadedPkFk, CsvError> {
+    let s_table = read_csv(s_path)?;
+    let r_table = read_csv(r_path)?;
+    let fk_raw = s_table.column(fk_column)?;
+    let n_r = r_table.data.rows();
+    let mut fk = Vec::with_capacity(fk_raw.len());
+    for (i, &v) in fk_raw.iter().enumerate() {
+        let k = v as usize;
+        if v < 0.0 || v.fract() != 0.0 || k >= n_r {
+            return Err(CsvError::BadForeignKey {
+                line: i + 2, // header + 1-based
+                key: k,
+                rows: n_r,
+            });
+        }
+        fk.push(k);
+    }
+    let mut drop = vec![fk_column];
+    if let Some(t) = target_column {
+        drop.push(t);
+    }
+    let s_features = s_table.features_without(&drop)?;
+    let y = match target_column {
+        Some(t) => Some(DenseMatrix::col_vector(&s_table.column(t)?)),
+        None => None,
+    };
+    let tn = NormalizedMatrix::pk_fk(Matrix::Dense(s_features), &fk, Matrix::Dense(r_table.data));
+    Ok(LoadedPkFk { tn, y })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("morpheus-csv-test-{}-{name}", std::process::id()));
+        let mut f = fs::File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn read_csv_parses_header_and_rows() {
+        let p = temp_file("basic.csv", "a,b,c\n1,2,3\n4,5,6\n");
+        let t = read_csv(&p).unwrap();
+        assert_eq!(t.columns, vec!["a", "b", "c"]);
+        assert_eq!(t.data.shape(), (2, 3));
+        assert_eq!(t.column("b").unwrap(), vec![2.0, 5.0]);
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn read_csv_rejects_ragged_and_bad_numbers() {
+        let p = temp_file("ragged.csv", "a,b\n1,2\n3\n");
+        assert!(matches!(
+            read_csv(&p),
+            Err(CsvError::RaggedRow { line: 3, .. })
+        ));
+        fs::remove_file(p).ok();
+        let p2 = temp_file("nan.csv", "a,b\n1,x\n");
+        assert!(matches!(read_csv(&p2), Err(CsvError::BadNumber { .. })));
+        fs::remove_file(p2).ok();
+    }
+
+    #[test]
+    fn load_pk_fk_mirrors_paper_snippet() {
+        // Customers(churn, age, income, employer_id) and Employers(revenue).
+        let s = temp_file(
+            "S.csv",
+            "churn,age,income,K\n1,30,50,0\n-1,40,60,1\n1,25,40,1\n-1,55,90,0\n",
+        );
+        let r = temp_file("R.csv", "revenue,country\n100,1\n200,2\n");
+        let loaded = load_pk_fk(&s, "K", Some("churn"), &r).unwrap();
+        assert_eq!(loaded.tn.shape(), (4, 4)); // [age, income] + [revenue, country]
+        let y = loaded.y.unwrap();
+        assert_eq!(y.as_slice(), &[1.0, -1.0, 1.0, -1.0]);
+        // Row 2 joins employer 1: features [25, 40, 200, 2].
+        let t = loaded.tn.materialize().to_dense();
+        assert_eq!(t.row(2), &[25.0, 40.0, 200.0, 2.0]);
+        fs::remove_file(s).ok();
+        fs::remove_file(r).ok();
+    }
+
+    #[test]
+    fn load_pk_fk_rejects_bad_keys() {
+        let s = temp_file("Sbad.csv", "v,K\n1,5\n");
+        let r = temp_file("Rbad.csv", "w\n9\n");
+        assert!(matches!(
+            load_pk_fk(&s, "K", None, &r),
+            Err(CsvError::BadForeignKey { key: 5, .. })
+        ));
+        fs::remove_file(s).ok();
+        fs::remove_file(r).ok();
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let p = temp_file("cols.csv", "a\n1\n");
+        let t = read_csv(&p).unwrap();
+        assert!(matches!(
+            t.column("zz"),
+            Err(CsvError::NoSuchColumn(ref c)) if c == "zz"
+        ));
+        fs::remove_file(p).ok();
+    }
+}

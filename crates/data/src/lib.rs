@@ -1,0 +1,30 @@
+//! Dataset generators for the Morpheus experiments.
+//!
+//! Two families, mirroring §5 of the paper:
+//!
+//! * [`synth`] — dense synthetic data for the operator- and algorithm-level
+//!   sweeps: single PK-FK joins parameterized by tuple/feature ratio
+//!   (Table 4), star-schema joins, and M:N joins parameterized by the join
+//!   attribute domain size (Table 5).
+//! * [`realsim`] — simulated versions of the paper's seven real normalized
+//!   datasets (Table 6: Expedia, Movies, Yelp, Walmart, LastFM, Books,
+//!   Flights). The originals are sparse one-hot feature matrices; the
+//!   simulator reproduces their exact shape statistics — per-table row and
+//!   column counts and non-zeros per row — at a configurable scale. The
+//!   operators only observe dimensions and sparsity, so the paper's
+//!   speedup structure (Table 7) is preserved. This substitution is
+//!   documented in `DESIGN.md`.
+//!
+//! A small [`csv`] module additionally mirrors the paper's §3.2 snippet
+//! for assembling a normalized matrix from base-table CSV files.
+//!
+//! Both produce [`morpheus_core::NormalizedMatrix`] values plus targets, so
+//! experiments can run factorized ("F") and materialized ("M") from the
+//! same object.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod realsim;
+pub mod synth;

@@ -1,0 +1,276 @@
+//! Element-wise arithmetic: scalar ops, matrix-matrix ops, and scalar maps.
+//!
+//! These are the "Element-wise Scalar Op" and "Element-wise Matrix Op" rows of
+//! Table 1 in the paper, implemented for regular dense matrices.
+
+use crate::DenseMatrix;
+
+macro_rules! scalar_op {
+    ($(#[$doc:meta])* $name:ident, $op:tt) => {
+        $(#[$doc])*
+        pub fn $name(&self, x: f64) -> DenseMatrix {
+            let mut out = self.clone();
+            for v in out.as_mut_slice() {
+                // The generic `$op` cannot be spelled as a compound
+                // assignment, hence the allow.
+                #[allow(clippy::assign_op_pattern)]
+                {
+                    *v = *v $op x;
+                }
+            }
+            out
+        }
+    };
+}
+
+macro_rules! elementwise_op {
+    ($(#[$doc:meta])* $name:ident, $op:tt) => {
+        $(#[$doc])*
+        ///
+        /// # Panics
+        /// Panics if the shapes differ.
+        pub fn $name(&self, other: &DenseMatrix) -> DenseMatrix {
+            assert_eq!(
+                self.shape(),
+                other.shape(),
+                concat!("DenseMatrix::", stringify!($name), ": shape mismatch")
+            );
+            let mut out = self.clone();
+            for (v, &o) in out.as_mut_slice().iter_mut().zip(other.as_slice()) {
+                #[allow(clippy::assign_op_pattern)]
+                {
+                    *v = *v $op o;
+                }
+            }
+            out
+        }
+    };
+}
+
+impl DenseMatrix {
+    scalar_op!(
+        /// Adds the scalar `x` to every entry (`T + x`).
+        scalar_add, +
+    );
+    scalar_op!(
+        /// Subtracts the scalar `x` from every entry (`T - x`).
+        scalar_sub, -
+    );
+    scalar_op!(
+        /// Multiplies every entry by the scalar `x` (`T * x`).
+        scalar_mul, *
+    );
+    scalar_op!(
+        /// Divides every entry by the scalar `x` (`T / x`).
+        scalar_div, /
+    );
+
+    /// Computes `x - T` entry-wise (scalar on the left of a non-commutative op).
+    pub fn scalar_rsub(&self, x: f64) -> DenseMatrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = x - *v;
+        }
+        out
+    }
+
+    /// Computes `x / T` entry-wise.
+    pub fn scalar_rdiv(&self, x: f64) -> DenseMatrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = x / *v;
+        }
+        out
+    }
+
+    /// Raises every entry to the power `x` (`T ^ x`, element-wise).
+    pub fn scalar_pow(&self, x: f64) -> DenseMatrix {
+        // `powi` is markedly faster for the ubiquitous square.
+        let mut out = self.clone();
+        if x == 2.0 {
+            for v in out.as_mut_slice() {
+                *v = *v * *v;
+            }
+        } else {
+            for v in out.as_mut_slice() {
+                *v = v.powf(x);
+            }
+        }
+        out
+    }
+
+    /// Applies an arbitrary scalar function `f` to every entry (`f(T)`).
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// In-place variant of [`DenseMatrix::map`].
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise natural exponential (`exp(T)`).
+    pub fn exp(&self) -> DenseMatrix {
+        self.map(f64::exp)
+    }
+
+    /// Element-wise natural logarithm (`log(T)`).
+    pub fn ln(&self) -> DenseMatrix {
+        self.map(f64::ln)
+    }
+
+    /// Element-wise sigmoid `1 / (1 + exp(-t))`, the logistic-regression link.
+    pub fn sigmoid(&self) -> DenseMatrix {
+        self.map(|t| 1.0 / (1.0 + (-t).exp()))
+    }
+
+    elementwise_op!(
+        /// Element-wise sum `T + X`.
+        add, +
+    );
+    elementwise_op!(
+        /// Element-wise difference `T - X`.
+        sub, -
+    );
+    elementwise_op!(
+        /// Element-wise (Hadamard) product `T * X`.
+        mul_elem, *
+    );
+    elementwise_op!(
+        /// Element-wise quotient `T / X`.
+        div_elem, /
+    );
+
+    /// In-place element-wise sum.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (v, &o) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *v += o;
+        }
+    }
+
+    /// In-place `self += alpha * other` (the BLAS `axpy` pattern).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (v, &o) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *v += alpha * o;
+        }
+    }
+
+    /// In-place element-wise difference.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign: shape mismatch");
+        for (v, &o) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *v -= o;
+        }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_in_place(&mut self, x: f64) {
+        for v in self.as_mut_slice() {
+            *v *= x;
+        }
+    }
+
+    /// Element-wise equality indicator: `1.0` where entries match within
+    /// `tol`, else `0.0`. Used by K-Means for `D == rowMin(D)` assignment.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn eq_indicator(&self, other: &DenseMatrix, tol: f64) -> DenseMatrix {
+        assert_eq!(self.shape(), other.shape(), "eq_indicator: shape mismatch");
+        let mut out = self.clone();
+        for (v, &o) in out.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *v = if (*v - o).abs() <= tol { 1.0 } else { 0.0 };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let m = sample();
+        assert_eq!(m.scalar_add(1.0).as_slice(), &[2.0, -1.0, 4.0, 5.0]);
+        assert_eq!(m.scalar_sub(1.0).as_slice(), &[0.0, -3.0, 2.0, 3.0]);
+        assert_eq!(m.scalar_mul(2.0).as_slice(), &[2.0, -4.0, 6.0, 8.0]);
+        assert_eq!(m.scalar_div(2.0).as_slice(), &[0.5, -1.0, 1.5, 2.0]);
+        assert_eq!(m.scalar_rsub(0.0).as_slice(), &[-1.0, 2.0, -3.0, -4.0]);
+        assert_eq!(m.scalar_rdiv(12.0).get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn pow_and_square() {
+        let m = sample();
+        assert_eq!(m.scalar_pow(2.0).as_slice(), &[1.0, 4.0, 9.0, 16.0]);
+        let cubed = m.scalar_pow(3.0);
+        assert!((cubed.get(1, 1) - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let m = DenseMatrix::from_rows(&[&[0.0, 1.0]]);
+        assert!((m.exp().get(0, 1) - std::f64::consts::E).abs() < 1e-12);
+        assert!((m.exp().ln().get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.sigmoid().get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = sample();
+        let b = DenseMatrix::filled(2, 2, 2.0);
+        assert_eq!(a.add(&b).as_slice(), &[3.0, 0.0, 5.0, 6.0]);
+        assert_eq!(a.sub(&b).as_slice(), &[-1.0, -4.0, 1.0, 2.0]);
+        assert_eq!(a.mul_elem(&b).as_slice(), &[2.0, -4.0, 6.0, 8.0]);
+        assert_eq!(a.div_elem(&b).as_slice(), &[0.5, -1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = sample();
+        let b = DenseMatrix::filled(2, 2, 1.0);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[2.0, -1.0, 4.0, 5.0]);
+        a.sub_assign(&b);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[3.0, 0.0, 5.0, 6.0]);
+        a.scale_in_place(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn eq_indicator_matches_kmeans_usage() {
+        let d = DenseMatrix::from_rows(&[&[1.0, 2.0], &[5.0, 3.0]]);
+        let m = DenseMatrix::from_rows(&[&[1.0, 1.0], &[3.0, 3.0]]);
+        let a = d.eq_indicator(&m, 1e-12);
+        assert_eq!(a.as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        sample().add(&DenseMatrix::zeros(3, 2));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for fallible dense-matrix constructors.
+
+use std::fmt;
+
+/// Errors produced by fallible [`crate::DenseMatrix`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DenseError {
+    /// The provided buffer length does not equal `rows * cols`.
+    BufferLen {
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+        /// Actual buffer length supplied.
+        len: usize,
+    },
+    /// Rows of a jagged input had inconsistent lengths.
+    Jagged {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::BufferLen { rows, cols, len } => write!(
+                f,
+                "buffer length {len} does not match shape {rows}x{cols} (= {})",
+                rows * cols
+            ),
+            DenseError::Jagged {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "jagged input: row {row} has {found} entries, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}
+
+/// Convenience alias for results with [`DenseError`].
+pub type Result<T> = std::result::Result<T, DenseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_buffer_len() {
+        let e = DenseError::BufferLen {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn display_jagged() {
+        let e = DenseError::Jagged {
+            expected: 3,
+            row: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("row 1"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Recursive-descent parser for the R-like LA subset.
+//!
+//! Operator precedence follows R: `^` (right-associative) binds tightest,
+//! then unary minus, then `%*%`, then `*` `/`, then `+` `-`.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnaryFn};
+use crate::token::{tokenize, LangError, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t.map(|t| t.kind)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<(), LangError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(LangError::Parse {
+                line: self.line(),
+                msg: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokenKind::Newline) {}
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut stmts = Vec::new();
+        self.skip_newlines();
+        while self.peek().is_some() {
+            stmts.push(self.stmt()?);
+            // Statements are separated by newlines/semicolons or a brace.
+            if self.peek().is_some()
+                && !self.eat(&TokenKind::Newline)
+                && self.peek() != Some(&TokenKind::RBrace)
+            {
+                return Err(LangError::Parse {
+                    line: self.line(),
+                    msg: "expected end of statement".into(),
+                });
+            }
+            self.skip_newlines();
+            if self.peek() == Some(&TokenKind::RBrace) {
+                break;
+            }
+        }
+        Ok(Program { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        if self.eat(&TokenKind::For) {
+            return self.for_stmt();
+        }
+        // Lookahead for `ident =`.
+        if let Some(TokenKind::Ident(name)) = self.peek().cloned() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) {
+                self.pos += 2;
+                let value = self.expr()?;
+                return Ok(Stmt::Assign(name, value));
+            }
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        self.expect(TokenKind::LParen, "'(' after for")?;
+        let var = match self.bump() {
+            Some(TokenKind::Ident(name)) => name,
+            _ => {
+                return Err(LangError::Parse {
+                    line: self.line(),
+                    msg: "expected loop variable".into(),
+                })
+            }
+        };
+        self.expect(TokenKind::In, "'in'")?;
+        let from = self.expr_no_range()?;
+        self.expect(TokenKind::Colon, "':' in range")?;
+        let to = self.expr_no_range()?;
+        self.expect(TokenKind::RParen, "')' after range")?;
+        self.skip_newlines();
+        self.expect(TokenKind::LBrace, "'{' to open loop body")?;
+        let body = self.program()?.stmts;
+        self.expect(TokenKind::RBrace, "'}' to close loop body")?;
+        Ok(Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        })
+    }
+
+    // ---- expressions (precedence climbing) ------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.comparison()
+    }
+
+    /// Expression without `:` at top level (used inside for-ranges).
+    fn expr_no_range(&mut self) -> Result<Expr, LangError> {
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.add_sub()?;
+        while self.eat(&TokenKind::EqEq) {
+            let rhs = self.add_sub()?;
+            lhs = Expr::Bin(BinOp::Eq, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_sub(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_div()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.mul_div()?;
+                lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.mul_div()?;
+                lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_div(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.matmul()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                let rhs = self.matmul()?;
+                lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Slash) {
+                let rhs = self.matmul()?;
+                lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn matmul(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        while self.eat(&TokenKind::MatMul) {
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(BinOp::MatMul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, LangError> {
+        let base = self.primary()?;
+        if self.eat(&TokenKind::Caret) {
+            // Right-associative, like R.
+            let exponent = self.unary()?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exponent)));
+        }
+        Ok(base)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.bump() {
+            Some(TokenKind::Number(v)) => Ok(Expr::Number(v)),
+            Some(TokenKind::Ident(name)) => {
+                if self.peek() == Some(&TokenKind::LParen) {
+                    self.call(name, line)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(TokenKind::LParen) => {
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(LangError::Parse {
+                line,
+                msg: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+
+    fn call(&mut self, name: String, line: usize) -> Result<Expr, LangError> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut args = vec![self.expr()?];
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.expr()?);
+        }
+        self.expect(TokenKind::RParen, "')' to close call")?;
+        match name.as_str() {
+            "zeros" | "ones" => {
+                if args.len() != 2 {
+                    return Err(LangError::Arity {
+                        func: name,
+                        expected: 2,
+                        found: args.len(),
+                    });
+                }
+                let cols = Box::new(args.pop().expect("two args"));
+                let rows = Box::new(args.pop().expect("one arg"));
+                Ok(if name == "zeros" {
+                    Expr::Zeros(rows, cols)
+                } else {
+                    Expr::Ones(rows, cols)
+                })
+            }
+            _ => match UnaryFn::from_name(&name) {
+                Some(f) => {
+                    if args.len() != 1 {
+                        return Err(LangError::Arity {
+                            func: name,
+                            expected: 1,
+                            found: args.len(),
+                        });
+                    }
+                    Ok(Expr::Call(f, Box::new(args.pop().expect("one arg"))))
+                }
+                None => Err(LangError::Parse {
+                    line,
+                    msg: format!("unknown function '{name}'"),
+                }),
+            },
+        }
+    }
+}
+
+/// Parses a full script into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let program = parser.program()?;
+    if parser.peek().is_some() {
+        return Err(LangError::Parse {
+            line: parser.line(),
+            msg: "trailing input after program".into(),
+        });
+    }
+    Ok(program)
+}
+
+/// Parses a single expression (convenience for tests and REPL-style use).
+pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
+    let program = parse(src)?;
+    match program.stmts.as_slice() {
+        [Stmt::Expr(e)] => Ok(e.clone()),
+        _ => Err(LangError::Parse {
+            line: 1,
+            msg: "expected a single expression".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_matmul_binds_tighter_than_mul() {
+        // a * b %*% c  ==  a * (b %*% c)
+        let e = parse_expr("a * b %*% c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Bin(
+                    BinOp::MatMul,
+                    Box::new(Expr::Var("b".into())),
+                    Box::new(Expr::Var("c".into())),
+                )),
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_add_is_loosest() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let e = parse_expr("a ^ b ^ c").unwrap();
+        let Expr::Bin(BinOp::Pow, _, rhs) = e else {
+            panic!("expected pow")
+        };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn unary_minus_and_calls() {
+        let e = parse_expr("-t(T) %*% p").unwrap();
+        // Unary minus binds tighter than %*% in this grammar (like R's -x %*% y).
+        assert!(matches!(e, Expr::Bin(BinOp::MatMul, _, _)));
+        let e2 = parse_expr("exp(-x)").unwrap();
+        assert_eq!(
+            e2,
+            Expr::Call(
+                UnaryFn::Exp,
+                Box::new(Expr::Neg(Box::new(Expr::Var("x".into()))))
+            )
+        );
+    }
+
+    #[test]
+    fn assignment_both_spellings() {
+        let p1 = parse("w = a + 1").unwrap();
+        let p2 = parse("w <- a + 1").unwrap();
+        assert_eq!(p1, p2);
+        assert!(matches!(p1.stmts[0], Stmt::Assign(ref n, _) if n == "w"));
+    }
+
+    #[test]
+    fn for_loop_with_body() {
+        let p = parse("for (i in 1:3) {\n  x = x + 1\n}\nx").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        let Stmt::For { var, body, .. } = &p.stmts[0] else {
+            panic!("expected for")
+        };
+        assert_eq!(var, "i");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn zeros_and_ones_constructors() {
+        let e = parse_expr("zeros(3, 2)").unwrap();
+        assert!(matches!(e, Expr::Zeros(_, _)));
+        let e = parse_expr("ones(n, 1)").unwrap();
+        assert!(matches!(e, Expr::Ones(_, _)));
+        assert!(matches!(
+            parse_expr("zeros(1)"),
+            Err(LangError::Arity { expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("x = 1\ny = (2").unwrap_err();
+        assert!(matches!(err, LangError::Parse { line: 2, .. }));
+        assert!(matches!(
+            parse("q = frobnicate(x)"),
+            Err(LangError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn figure1_script_parses() {
+        let script = r#"
+            # Figure 1(c): logistic regression
+            for (i in 1:20) {
+                w = w + a * (t(T) %*% (Y / (1 + exp(Y * (T %*% w)))))
+            }
+            w
+        "#;
+        let p = parse(script).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+}

@@ -1,0 +1,370 @@
+//! Tokenizer for the R-like LA subset, plus the crate error type.
+
+use std::fmt;
+
+/// Errors from parsing or evaluating a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// Lexical error: unexpected character.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// Offending character.
+        ch: char,
+    },
+    /// Syntax error with a human-readable description.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Description of what went wrong.
+        msg: String,
+    },
+    /// A name was referenced before being bound.
+    Undefined(String),
+    /// An operator was applied to incompatible value kinds.
+    Type(String),
+    /// Matrix shapes were incompatible.
+    Shape(String),
+    /// A function received the wrong number of arguments.
+    Arity {
+        /// Function name.
+        func: String,
+        /// Arguments expected.
+        expected: usize,
+        /// Arguments received.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, ch } => write!(f, "line {line}: unexpected character '{ch}'"),
+            LangError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            LangError::Undefined(name) => write!(f, "undefined variable '{name}'"),
+            LangError::Type(msg) => write!(f, "type error: {msg}"),
+            LangError::Shape(msg) => write!(f, "shape error: {msg}"),
+            LangError::Arity {
+                func,
+                expected,
+                found,
+            } => write!(f, "{func}() takes {expected} argument(s), got {found}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    Number(f64),
+    Ident(String),
+    /// `%*%`
+    MatMul,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    /// `=` or `<-`
+    Assign,
+    /// `==`
+    EqEq,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    /// Statement separator: newline or `;`
+    Newline,
+    /// `for`
+    For,
+    /// `in`
+    In,
+}
+
+/// Tokenizes a script. Comments run from `#` to end of line.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Newline,
+                    line,
+                });
+                line += 1;
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Newline,
+                    line,
+                });
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for cc in chars.by_ref() {
+                    if cc == '\n' {
+                        tokens.push(Token {
+                            kind: TokenKind::Newline,
+                            line,
+                        });
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '0'..='9' | '.' => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' {
+                        text.push(d);
+                        chars.next();
+                        // Allow exponent signs: 1e-3.
+                        if (d == 'e' || d == 'E') && matches!(chars.peek(), Some('+') | Some('-')) {
+                            text.push(chars.next().expect("peeked"));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = text.parse().map_err(|_| LangError::Parse {
+                    line,
+                    msg: format!("malformed number '{text}'"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = match name.as_str() {
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    _ => TokenKind::Ident(name),
+                };
+                tokens.push(Token { kind, line });
+            }
+            '%' => {
+                chars.next();
+                if chars.next() == Some('*') && chars.next() == Some('%') {
+                    tokens.push(Token {
+                        kind: TokenKind::MatMul,
+                        line,
+                    });
+                } else {
+                    return Err(LangError::Lex { line, ch: '%' });
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                    });
+                } else {
+                    return Err(LangError::Lex { line, ch: '<' });
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        line,
+                    });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        line,
+                    });
+                }
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    line,
+                });
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
+            }
+            '/' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
+            }
+            '^' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Caret,
+                    line,
+                });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
+            }
+            other => return Err(LangError::Lex { line, ch: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("w = t(T) %*% p"),
+            vec![
+                TokenKind::Ident("w".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("t".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("T".into()),
+                TokenKind::RParen,
+                TokenKind::MatMul,
+                TokenKind::Ident("p".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_exponents() {
+        assert_eq!(
+            kinds("1 2.5 1e-3 3E2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(1e-3),
+                TokenKind::Number(3e2),
+            ]
+        );
+    }
+
+    #[test]
+    fn r_style_assignment_and_keywords() {
+        assert_eq!(
+            kinds("for (i in 1:3) { x <- 2 }"),
+            vec![
+                TokenKind::For,
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::In,
+                TokenKind::Number(1.0),
+                TokenKind::Colon,
+                TokenKind::Number(3.0),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(2.0),
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a = 1 # set a\nb = 2").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Newline));
+        let last = toks.last().unwrap();
+        assert_eq!(last.line, 2);
+    }
+
+    #[test]
+    fn bad_characters_are_reported() {
+        assert!(matches!(
+            tokenize("a $ b"),
+            Err(LangError::Lex { ch: '$', .. })
+        ));
+        assert!(matches!(tokenize("a %+% b"), Err(LangError::Lex { .. })));
+        assert!(matches!(tokenize("a < b"), Err(LangError::Lex { .. })));
+    }
+}

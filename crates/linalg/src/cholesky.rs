@@ -1,0 +1,113 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::{solve_lower_triangular, solve_upper_triangular, LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Only the lower triangle of `a` is read (the matrix is assumed symmetric).
+/// Returns [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
+/// strictly positive.
+pub fn cholesky(a: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    if !a.is_square() {
+        return Err(LinalgError::BadShape(format!(
+            "cholesky: matrix is {}x{}, expected square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = a.get(i, j);
+            for k in 0..j {
+                acc -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if acc <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { index: i });
+                }
+                l.set(i, j, acc.sqrt());
+            } else {
+                l.set(i, j, acc / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A X = B` for symmetric positive-definite `A` via Cholesky.
+///
+/// This is the fast path for normal-equation solves
+/// (`crossprod(T) w = Tᵀ y`) when the Gram matrix is non-singular.
+pub fn solve_spd(a: &DenseMatrix, b: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    if b.rows() != a.rows() {
+        return Err(LinalgError::BadShape(format!(
+            "solve_spd: rhs has {} rows, expected {}",
+            b.rows(),
+            a.rows()
+        )));
+    }
+    let l = cholesky(a)?;
+    let y = solve_lower_triangular(&l, b)?;
+    solve_upper_triangular(&l.transpose(), &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> DenseMatrix {
+        // A = Mᵀ M + I is SPD for any M.
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut a = m.crossprod();
+        a.add_assign(&DenseMatrix::identity(2));
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd();
+        let l = cholesky(&a).unwrap();
+        assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-10));
+        // L is lower triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn solve_spd_matches_lu() {
+        let a = spd();
+        let b = DenseMatrix::col_vector(&[1.0, 2.0]);
+        let x = solve_spd(&a, &b).unwrap();
+        let x_lu = crate::solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_lu, 1e-9));
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn semidefinite_rejected() {
+        // Rank-1 PSD matrix: xxᵀ with x = (1, 1).
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            cholesky(&DenseMatrix::zeros(2, 3)),
+            Err(LinalgError::BadShape(_))
+        ));
+    }
+}

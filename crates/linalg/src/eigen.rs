@@ -1,0 +1,166 @@
+//! Cyclic Jacobi eigendecomposition of symmetric matrices.
+
+use crate::{LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// An eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in descending order, `vectors` holds the matching
+/// eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct EigenSym {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the order of `values`.
+    pub vectors: DenseMatrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix by the cyclic
+/// Jacobi method.
+///
+/// Only symmetry up to rounding is assumed; the strictly upper part drives
+/// the rotations. Returns [`LinalgError::NoConvergence`] if the off-diagonal
+/// mass fails to vanish within the sweep budget (practically unreachable for
+/// symmetric input).
+pub fn eigen_sym(a: &DenseMatrix) -> LinalgResult<EigenSym> {
+    if !a.is_square() {
+        return Err(LinalgError::BadShape(format!(
+            "eigen_sym: matrix is {}x{}, expected square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(EigenSym {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(0, 0),
+        });
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let frob = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * frob;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q).powi(2);
+            }
+        }
+        if off.sqrt() <= tol {
+            return Ok(sorted(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p and q of M: M <- Jᵀ M J.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors: V <- V J.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "eigen_sym",
+        sweeps: MAX_SWEEPS,
+    })
+}
+
+fn sorted(m: DenseMatrix, v: DenseMatrix) -> EigenSym {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag = m.diag();
+    idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    EigenSym { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = eigen_sym(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen_sym(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let b = DenseMatrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, 3.0], &[2.0, 1.0, 1.0]]);
+        let a = b.crossprod(); // symmetric PSD
+        let e = eigen_sym(&a).unwrap();
+        let lam = DenseMatrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!(rec.approx_eq(&a, 1e-9));
+        let vtv = e.vectors.crossprod();
+        assert!(vtv.approx_eq(&DenseMatrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn psd_eigenvalues_nonnegative() {
+        let b = DenseMatrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f64 % 7.0);
+        let a = b.crossprod();
+        let e = eigen_sym(&a).unwrap();
+        for &l in &e.values {
+            assert!(l > -1e-9, "PSD matrix produced negative eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn empty_and_bad_shape() {
+        let e = eigen_sym(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        assert!(matches!(
+            eigen_sym(&DenseMatrix::zeros(2, 3)),
+            Err(LinalgError::BadShape(_))
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the numerical routines.
+
+use std::fmt;
+
+/// Errors surfaced by the factorizations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix is singular to working precision (pivot below threshold).
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// A Cholesky factorization found a non-positive diagonal.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// An iterative routine failed to converge within its sweep budget.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// Number of sweeps performed.
+        sweeps: usize,
+    },
+    /// Input did not have the required shape (e.g. non-square for LU).
+    BadShape(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (diagonal {index})")
+            }
+            LinalgError::NoConvergence { routine, sweeps } => {
+                write!(f, "{routine} did not converge after {sweeps} sweeps")
+            }
+            LinalgError::BadShape(msg) => write!(f, "bad shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results with [`LinalgError`].
+pub type LinalgResult<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LinalgError::Singular { pivot: 3 }
+            .to_string()
+            .contains("pivot 3"));
+        assert!(LinalgError::NotPositiveDefinite { index: 1 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            sweeps: 30
+        }
+        .to_string()
+        .contains("jacobi_svd"));
+        assert!(LinalgError::BadShape("2x3".into())
+            .to_string()
+            .contains("2x3"));
+    }
+}

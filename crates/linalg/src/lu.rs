@@ -1,0 +1,232 @@
+//! LU decomposition with partial pivoting, `solve`, determinant, inverse.
+
+use crate::{LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// Pivot threshold below which the matrix is declared singular.
+const PIVOT_TOL: f64 = 1e-13;
+
+/// A packed LU decomposition `P A = L U` with partial pivoting.
+///
+/// `lu` stores `L` (unit diagonal, below) and `U` (on and above the
+/// diagonal); `perm[i]` is the source row of permuted row `i`; `sign` is the
+/// permutation's signature (for determinants).
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// The permutation vector (row `i` of `PA` is row `perm[i]` of `A`).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `A X = B` using the precomputed factorization.
+    ///
+    /// # Panics
+    /// Panics if `b.rows()` differs from the factored dimension.
+    pub fn solve(&self, b: &DenseMatrix) -> DenseMatrix {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "LuDecomposition::solve: rhs has wrong height");
+        let k = b.cols();
+        // Apply permutation.
+        let mut x = DenseMatrix::zeros(n, k);
+        for i in 0..n {
+            x.row_mut(i).copy_from_slice(b.row(self.perm[i]));
+        }
+        // Forward substitution with implicit unit diagonal L.
+        for i in 0..n {
+            for j in 0..i {
+                let lij = self.lu.get(i, j);
+                if lij != 0.0 {
+                    for c in 0..k {
+                        let v = x.get(i, c) - lij * x.get(j, c);
+                        x.set(i, c, v);
+                    }
+                }
+            }
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let piv = self.lu.get(i, i);
+            for j in (i + 1)..n {
+                let uij = self.lu.get(i, j);
+                if uij != 0.0 {
+                    for c in 0..k {
+                        let v = x.get(i, c) - uij * x.get(j, c);
+                        x.set(i, c, v);
+                    }
+                }
+            }
+            for c in 0..k {
+                x.set(i, c, x.get(i, c) / piv);
+            }
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        self.sign * self.lu.diag().iter().product::<f64>()
+    }
+}
+
+/// Computes the LU decomposition of a square matrix with partial pivoting.
+///
+/// Returns [`LinalgError::Singular`] when a pivot falls below threshold and
+/// [`LinalgError::BadShape`] for non-square input.
+pub fn lu_decompose(a: &DenseMatrix) -> LinalgResult<LuDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::BadShape(format!(
+            "lu_decompose: matrix is {}x{}, expected square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for col in 0..n {
+        // Find pivot.
+        let mut piv_row = col;
+        let mut piv_val = lu.get(col, col).abs();
+        for r in (col + 1)..n {
+            let v = lu.get(r, col).abs();
+            if v > piv_val {
+                piv_val = v;
+                piv_row = r;
+            }
+        }
+        if piv_val < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        if piv_row != col {
+            perm.swap(col, piv_row);
+            sign = -sign;
+            for j in 0..n {
+                let tmp = lu.get(col, j);
+                lu.set(col, j, lu.get(piv_row, j));
+                lu.set(piv_row, j, tmp);
+            }
+        }
+        let piv = lu.get(col, col);
+        for r in (col + 1)..n {
+            let factor = lu.get(r, col) / piv;
+            lu.set(r, col, factor);
+            if factor != 0.0 {
+                for j in (col + 1)..n {
+                    let v = lu.get(r, j) - factor * lu.get(col, j);
+                    lu.set(r, j, v);
+                }
+            }
+        }
+    }
+    Ok(LuDecomposition { lu, perm, sign })
+}
+
+/// Solves the square linear system `A X = B`.
+pub fn solve(a: &DenseMatrix, b: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    if b.rows() != a.rows() {
+        return Err(LinalgError::BadShape(format!(
+            "solve: rhs has {} rows, expected {}",
+            b.rows(),
+            a.rows()
+        )));
+    }
+    Ok(lu_decompose(a)?.solve(b))
+}
+
+/// Determinant of a square matrix (0 for singular input).
+pub fn det(a: &DenseMatrix) -> LinalgResult<f64> {
+    match lu_decompose(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Inverse of a non-singular square matrix.
+pub fn inverse(a: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    Ok(lu_decompose(a)?.solve(&DenseMatrix::identity(a.rows())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_conditioned() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[4.0, 1.0, 2.0], &[1.0, 5.0, 1.0], &[2.0, 1.0, 6.0]])
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = well_conditioned();
+        let x_true = DenseMatrix::col_vector(&[1.0, -2.0, 3.0]);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn solve_multi_rhs() {
+        let a = well_conditioned();
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let x = solve(&a, &b).unwrap();
+        assert!(a.matmul(&x).approx_eq(&b, 1e-10));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = DenseMatrix::col_vector(&[2.0, 3.0]);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&DenseMatrix::col_vector(&[3.0, 2.0]), 1e-12));
+    }
+
+    #[test]
+    fn determinant_values() {
+        assert!((det(&DenseMatrix::identity(3)).unwrap() - 1.0).abs() < 1e-12);
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((det(&a).unwrap() - 6.0).abs() < 1e-12);
+        // Swapped rows flip the sign.
+        let swapped = DenseMatrix::from_rows(&[&[0.0, 3.0], &[2.0, 0.0]]);
+        assert!((det(&swapped).unwrap() + 6.0).abs() < 1e-12);
+        // Singular matrix has determinant 0.
+        let sing = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(det(&sing).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = well_conditioned();
+        let ainv = inverse(&a).unwrap();
+        assert!(a.matmul(&ainv).approx_eq(&DenseMatrix::identity(3), 1e-10));
+        assert!(ainv.matmul(&a).approx_eq(&DenseMatrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let sing = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            lu_decompose(&sing),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            lu_decompose(&DenseMatrix::zeros(2, 3)),
+            Err(LinalgError::BadShape(_))
+        ));
+        let a = DenseMatrix::identity(2);
+        assert!(matches!(
+            solve(&a, &DenseMatrix::zeros(3, 1)),
+            Err(LinalgError::BadShape(_))
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! Householder QR decomposition and least-squares solves.
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithm
+
+use crate::{solve_upper_triangular, LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// A thin (economy) QR decomposition `A = Q R` with `Q` of shape `m x n`
+/// (orthonormal columns) and `R` upper triangular `n x n`. Requires `m >= n`.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Orthonormal factor, `m x n`.
+    pub q: DenseMatrix,
+    /// Upper-triangular factor, `n x n`.
+    pub r: DenseMatrix,
+}
+
+/// Computes the thin Householder QR decomposition of an `m x n` matrix with
+/// `m >= n`.
+pub fn householder_qr(a: &DenseMatrix) -> LinalgResult<QrDecomposition> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::BadShape(format!(
+            "householder_qr: {m}x{n} has more columns than rows; factor the transpose"
+        )));
+    }
+    // Work on a full copy; accumulate the reflectors' action on I to get Q.
+    let mut r = a.clone();
+    let mut qt = DenseMatrix::identity(m); // accumulates Hₖ … H₁ (i.e. Qᵀ)
+    let mut v = vec![0.0f64; m];
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            let x = r.get(i, k);
+            norm += x * x;
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue; // column already zero below the diagonal
+        }
+        let akk = r.get(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let mut vnorm2 = 0.0;
+        for i in k..m {
+            let vi = if i == k {
+                r.get(i, k) - alpha
+            } else {
+                r.get(i, k)
+            };
+            v[i] = vi;
+            vnorm2 += vi * vi;
+        }
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm2;
+        // R <- H R  (only columns k..n change)
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r.get(i, j);
+            }
+            let s = beta * dot;
+            for i in k..m {
+                let val = r.get(i, j) - s * v[i];
+                r.set(i, j, val);
+            }
+        }
+        // Qᵀ <- H Qᵀ (all columns change)
+        for j in 0..m {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * qt.get(i, j);
+            }
+            let s = beta * dot;
+            for i in k..m {
+                let val = qt.get(i, j) - s * v[i];
+                qt.set(i, j, val);
+            }
+        }
+    }
+    // Thin factors.
+    let q = qt.transpose().slice_cols(0..n);
+    let r_thin = r.slice_rows(0..n);
+    // Zero numerical noise below the diagonal of R.
+    let mut r_clean = r_thin;
+    for i in 0..n {
+        for j in 0..i {
+            r_clean.set(i, j, 0.0);
+        }
+    }
+    Ok(QrDecomposition { q, r: r_clean })
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` for full-column-rank `A`
+/// (`m >= n`) via QR: `x = R⁻¹ Qᵀ b`.
+pub fn lstsq(a: &DenseMatrix, b: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    if b.rows() != a.rows() {
+        return Err(LinalgError::BadShape(format!(
+            "lstsq: rhs has {} rows, expected {}",
+            b.rows(),
+            a.rows()
+        )));
+    }
+    let qr = householder_qr(a)?;
+    let qtb = qr.q.t_matmul(b);
+    solve_upper_triangular(&qr.r, &qtb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]])
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = tall();
+        let qr = householder_qr(&a).unwrap();
+        assert!(qr.q.matmul(&qr.r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let qr = householder_qr(&tall()).unwrap();
+        let qtq = qr.q.crossprod();
+        assert!(qtq.approx_eq(&DenseMatrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let qr = householder_qr(&tall()).unwrap();
+        assert_eq!(qr.r.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0], &[0.0, 0.0]]);
+        let b = DenseMatrix::col_vector(&[4.0, 9.0, 0.0]);
+        let x = lstsq(&a, &b).unwrap();
+        assert!(x.approx_eq(&DenseMatrix::col_vector(&[2.0, 3.0]), 1e-10));
+    }
+
+    #[test]
+    fn lstsq_overdetermined_matches_normal_equations() {
+        let a = tall();
+        let b = DenseMatrix::col_vector(&[1.0, 2.0, 3.0, 4.0]);
+        let x = lstsq(&a, &b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let lhs = a.crossprod();
+        let rhs = a.t_matmul(&b);
+        let x_ne = crate::solve(&lhs, &rhs).unwrap();
+        assert!(x.approx_eq(&x_ne, 1e-8));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(matches!(
+            householder_qr(&DenseMatrix::zeros(2, 3)),
+            Err(LinalgError::BadShape(_))
+        ));
+    }
+}

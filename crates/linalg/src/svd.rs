@@ -1,0 +1,261 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The one-sided Jacobi method orthogonalizes the columns of `A` by plane
+//! rotations; at convergence the column norms are the singular values, the
+//! normalized columns form `U`, and the accumulated rotations form `V`. It is
+//! simple, numerically robust (high relative accuracy for small singular
+//! values), and O(m n²) per sweep — a good fit for the `d ≪ n` matrices this
+//! workspace manipulates.
+
+use crate::{LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// A thin singular value decomposition `A = U diag(σ) Vᵀ`.
+///
+/// For an `m x n` input with `k = min(m, n)`: `u` is `m x k`, `singular`
+/// holds the `k` singular values in descending order, and `v` is `n x k`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m x k`.
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub singular: Vec<f64>,
+    /// Right singular vectors (columns), `n x k`.
+    pub v: DenseMatrix,
+}
+
+impl Svd {
+    /// Reconstructs `U diag(σ) Vᵀ` (for testing / verification).
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let us = self.u.scale_cols(&self.singular);
+        us.matmul_t(&self.v)
+    }
+
+    /// Numerical rank: the number of singular values above
+    /// `rtol * max(σ)`.
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = self.singular.first().copied().unwrap_or(0.0);
+        self.singular.iter().filter(|&&s| s > rtol * smax).count()
+    }
+}
+
+/// Computes the thin SVD of a general rectangular matrix by one-sided Jacobi.
+pub fn svd(a: &DenseMatrix) -> LinalgResult<Svd> {
+    let (m, n) = a.shape();
+    if m >= n {
+        svd_tall(a)
+    } else {
+        // SVD of Aᵀ = U' Σ V'ᵀ  ⇒  A = V' Σ U'ᵀ.
+        let s = svd_tall(&a.transpose())?;
+        Ok(Svd {
+            u: s.v,
+            singular: s.singular,
+            v: s.u,
+        })
+    }
+}
+
+fn svd_tall(a: &DenseMatrix) -> LinalgResult<Svd> {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    if n == 0 {
+        return Ok(Svd {
+            u: DenseMatrix::zeros(m, 0),
+            singular: Vec::new(),
+            v: DenseMatrix::zeros(0, 0),
+        });
+    }
+    // Work column-major for cheap column access: store W = A as n columns.
+    let mut w: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = DenseMatrix::identity(n);
+    let eps = f64::EPSILON;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut max_cos = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma) = col_moments(&w[p], &w[q]);
+                if alpha == 0.0 || beta == 0.0 {
+                    continue; // a zero column is orthogonal to everything
+                }
+                let cosine = gamma.abs() / (alpha * beta).sqrt();
+                max_cos = max_cos.max(cosine);
+                if cosine <= eps * 16.0 {
+                    continue;
+                }
+                // Rotation that zeroes the (p, q) inner product.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut w, p, q, c, s);
+                // Accumulate V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+        if max_cos <= eps * 16.0 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            routine: "jacobi_svd",
+            sweeps: MAX_SWEEPS,
+        });
+    }
+
+    // Extract singular values and U, then sort descending.
+    let mut sigma: Vec<f64> = w
+        .iter()
+        .map(|col| col.iter().map(|&x| x * x).sum::<f64>().sqrt())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("NaN singular value"));
+
+    let mut u = DenseMatrix::zeros(m, n);
+    let mut v_sorted = DenseMatrix::zeros(n, n);
+    let mut sigma_sorted = Vec::with_capacity(n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        let s = sigma[old_col];
+        sigma_sorted.push(s);
+        if s > 0.0 {
+            for (i, &wv) in w[old_col].iter().enumerate() {
+                u.set(i, new_col, wv / s);
+            }
+        }
+        for i in 0..n {
+            v_sorted.set(i, new_col, v.get(i, old_col));
+        }
+    }
+    sigma.clear();
+    Ok(Svd {
+        u,
+        singular: sigma_sorted,
+        v: v_sorted,
+    })
+}
+
+/// Returns `(‖wp‖², ‖wq‖², wpᵀwq)`.
+fn col_moments(wp: &[f64], wq: &[f64]) -> (f64, f64, f64) {
+    let mut alpha = 0.0;
+    let mut beta = 0.0;
+    let mut gamma = 0.0;
+    for (&x, &y) in wp.iter().zip(wq) {
+        alpha += x * x;
+        beta += y * y;
+        gamma += x * y;
+    }
+    (alpha, beta, gamma)
+}
+
+fn rotate_cols(w: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
+    debug_assert!(p < q);
+    let (left, right) = w.split_at_mut(q);
+    let wp = &mut left[p];
+    let wq = &mut right[0];
+    for (x, y) in wp.iter_mut().zip(wq.iter_mut()) {
+        let xp = *x;
+        let xq = *y;
+        *x = c * xp - s * xq;
+        *y = s * xp + c * xq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[1.0, 2.0, 0.0],
+            &[2.0, 0.0, 2.0],
+            &[0.0, 1.0, -1.0],
+            &[3.0, 1.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = tall();
+        let s = svd(&a).unwrap();
+        assert!(s.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let a = tall().transpose();
+        let s = svd(&a).unwrap();
+        assert!(s.reconstruct().approx_eq(&a, 1e-9));
+        assert_eq!(s.u.shape(), (3, 3));
+        assert_eq!(s.v.shape(), (4, 3));
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let s = svd(&tall()).unwrap();
+        assert!(s.u.crossprod().approx_eq(&DenseMatrix::identity(3), 1e-9));
+        assert!(s.v.crossprod().approx_eq(&DenseMatrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let s = svd(&tall()).unwrap();
+        for w in s.singular.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        for &x in &s.singular {
+            assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = DenseMatrix::from_diag(&[3.0, 1.0, 2.0]);
+        let s = svd(&a).unwrap();
+        assert!((s.singular[0] - 3.0).abs() < 1e-10);
+        assert!((s.singular[1] - 2.0).abs() < 1e-10);
+        assert!((s.singular[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Column 2 = column 0 + column 1 → rank 2.
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 1.0, 3.0],
+        ]);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.rank(1e-10), 2);
+        assert!(s.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = DenseMatrix::zeros(3, 2);
+        let s = svd(&a).unwrap();
+        assert_eq!(s.rank(1e-10), 0);
+        assert!(s.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram() {
+        let a = tall();
+        let s = svd(&a).unwrap();
+        let e = crate::eigen_sym(&a.crossprod()).unwrap();
+        for (sv, ev) in s.singular.iter().zip(&e.values) {
+            assert!((sv * sv - ev).abs() < 1e-8 * ev.max(1.0));
+        }
+    }
+}

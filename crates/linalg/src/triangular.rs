@@ -1,0 +1,120 @@
+//! Forward and backward substitution for triangular systems.
+
+use crate::{LinalgError, LinalgResult};
+use morpheus_dense::DenseMatrix;
+
+/// Minimum pivot magnitude before a system is declared singular.
+const PIVOT_TOL: f64 = 1e-13;
+
+/// Solves `L X = B` for lower-triangular `L` by forward substitution.
+///
+/// Only the lower triangle of `l` is read.
+pub fn solve_lower_triangular(l: &DenseMatrix, b: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    let n = check_square_system(l, b, "solve_lower_triangular")?;
+    let k = b.cols();
+    let mut x = b.clone();
+    for i in 0..n {
+        let piv = l.get(i, i);
+        if piv.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        for c in 0..k {
+            let mut acc = x.get(i, c);
+            for j in 0..i {
+                acc -= l.get(i, j) * x.get(j, c);
+            }
+            x.set(i, c, acc / piv);
+        }
+    }
+    Ok(x)
+}
+
+/// Solves `U X = B` for upper-triangular `U` by backward substitution.
+///
+/// Only the upper triangle of `u` is read.
+pub fn solve_upper_triangular(u: &DenseMatrix, b: &DenseMatrix) -> LinalgResult<DenseMatrix> {
+    let n = check_square_system(u, b, "solve_upper_triangular")?;
+    let k = b.cols();
+    let mut x = b.clone();
+    for i in (0..n).rev() {
+        let piv = u.get(i, i);
+        if piv.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        for c in 0..k {
+            let mut acc = x.get(i, c);
+            for j in (i + 1)..n {
+                acc -= u.get(i, j) * x.get(j, c);
+            }
+            x.set(i, c, acc / piv);
+        }
+    }
+    Ok(x)
+}
+
+fn check_square_system(a: &DenseMatrix, b: &DenseMatrix, who: &str) -> LinalgResult<usize> {
+    if !a.is_square() {
+        return Err(LinalgError::BadShape(format!(
+            "{who}: matrix is {}x{}, expected square",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.rows() != a.rows() {
+        return Err(LinalgError::BadShape(format!(
+            "{who}: rhs has {} rows, expected {}",
+            b.rows(),
+            a.rows()
+        )));
+    }
+    Ok(a.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_solve() {
+        let l = DenseMatrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let b = DenseMatrix::col_vector(&[4.0, 11.0]);
+        let x = solve_lower_triangular(&l, &b).unwrap();
+        assert!(l.matmul(&x).approx_eq(&b, 1e-12));
+        assert!((x.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((x.get(1, 0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_solve_multi_rhs() {
+        let u = DenseMatrix::from_rows(&[&[3.0, 1.0], &[0.0, 2.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 1.0], &[4.0, 2.0]]);
+        let x = solve_upper_triangular(&u, &b).unwrap();
+        assert!(u.matmul(&x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn singular_triangular_rejected() {
+        let l = DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = DenseMatrix::col_vector(&[1.0, 1.0]);
+        assert!(matches!(
+            solve_lower_triangular(&l, &b),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let l = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 1);
+        assert!(matches!(
+            solve_lower_triangular(&l, &b),
+            Err(LinalgError::BadShape(_))
+        ));
+        let sq = DenseMatrix::identity(2);
+        let bad_b = DenseMatrix::zeros(3, 1);
+        assert!(matches!(
+            solve_upper_triangular(&sq, &bad_b),
+            Err(LinalgError::BadShape(_))
+        ));
+    }
+}

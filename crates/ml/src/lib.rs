@@ -1,0 +1,76 @@
+//! ML algorithms over the Morpheus operator trait — written once,
+//! automatically factorized (§4 of the paper).
+//!
+//! Every algorithm in this crate is generic over
+//! [`morpheus_core::LinearOperand`], the Rust realization of the paper's
+//! closure property. Training on a regular [`morpheus_core::Matrix`] gives
+//! the standard single-table algorithm (Algorithms 3, 5, 11, 15, 16);
+//! training on a [`morpheus_core::NormalizedMatrix`] gives the factorized
+//! version (Algorithms 4, 6, 12, 7, 8) — **the code is the same**, the
+//! rewrite rules fire inside the operator calls.
+//!
+//! The algorithms, chosen for diversity as in the paper:
+//!
+//! * [`logreg`] — logistic regression via gradient descent (classification).
+//! * [`linreg`] — least-squares linear regression via normal equations,
+//!   gradient descent, and the Schleich et al. co-factor + AdaGrad hybrid.
+//! * [`kmeans`] — K-Means clustering (full matrix-matrix multiplications).
+//! * [`gnmf`] — Gaussian non-negative matrix factorization (feature
+//!   extraction).
+//! * [`orion`] — a reimplementation of the algorithm-specific Orion
+//!   factorized logistic regression of Kumar et al. (SIGMOD'15), used as
+//!   the Table 8 comparison baseline.
+//! * [`metrics`] — losses and quality metrics shared by tests and benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gnmf;
+pub mod kmeans;
+pub mod linreg;
+pub mod logreg;
+pub mod metrics;
+pub mod orion;
+
+#[cfg(test)]
+pub(crate) mod test_data {
+    //! Shared fixtures: a PK-FK normalized matrix with a planted linear
+    //! model, used by the algorithm equivalence tests.
+    use morpheus_core::{Matrix, NormalizedMatrix};
+    use morpheus_dense::DenseMatrix;
+
+    /// Deterministic pseudo-random stream (splitmix64) — keeps the crate's
+    /// unit tests free of external RNG dependencies.
+    pub fn stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        }
+    }
+
+    pub struct Fixture {
+        pub tn: NormalizedMatrix,
+        pub t: Matrix,
+        pub y: DenseMatrix,
+        pub w_true: DenseMatrix,
+    }
+
+    /// `n_s x (d_s + d_r)` PK-FK data with labels from a planted model.
+    pub fn pkfk(n_s: usize, d_s: usize, n_r: usize, d_r: usize, seed: u64) -> Fixture {
+        let mut rng = stream(seed);
+        let s = DenseMatrix::from_fn(n_s, d_s, |_, _| rng());
+        let r = DenseMatrix::from_fn(n_r, d_r, |_, _| rng());
+        let fk: Vec<usize> = (0..n_s).map(|i| (i * 7 + 3) % n_r).collect();
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        let t = tn.materialize();
+        let d = d_s + d_r;
+        let w_true = DenseMatrix::from_fn(d, 1, |i, _| (i as f64 - d as f64 / 2.0) * 0.3);
+        let y = t.matmul_dense(&w_true);
+        Fixture { tn, t, y, w_true }
+    }
+}

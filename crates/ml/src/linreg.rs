@@ -1,0 +1,278 @@
+//! Least-squares linear regression (paper Algorithms 5/6, 11/12, 13/14).
+//!
+//! Three solvers, all generic over [`LinearOperand`]:
+//!
+//! * [`LinearRegressionNe`] — normal equations
+//!   `w = ginv(crossprod(T)) (Tᵀ Y)` (Algorithm 5). On normalized input the
+//!   cross-product and transposed-LMM rewrites fire (Algorithm 6).
+//! * [`LinearRegressionGd`] — gradient descent
+//!   `w = w − α Tᵀ(T w − Y)` (Algorithm 11/12), for large `d` or singular
+//!   Gram matrices.
+//! * [`LinearRegressionCofactor`] — the Schleich et al. (SIGMOD'16) hybrid
+//!   (Algorithm 13/14): build the co-factor `C = [Yᵀ T; crossprod(T)]` once,
+//!   then iterate AdaGrad steps `w = w − α ⊙ (Cᵀ [−1; w])` that never touch
+//!   the data again.
+
+use morpheus_core::LinearOperand;
+use morpheus_dense::DenseMatrix;
+use morpheus_linalg::{ginv_sym_psd, solve_spd};
+
+/// Normal-equations linear regression (Algorithm 5/6).
+///
+/// Follows the paper's §3.3.6 note that `solve` is preferred over a full
+/// inversion when possible: the Gram system is first attempted with a
+/// Cholesky solve (optionally ridge-stabilized); if the Gram matrix is not
+/// positive definite (rank-deficient data, e.g. one-hot encodings), it
+/// falls back to the pseudo-inverse route `ginv(crossprod(T)) (Tᵀ Y)`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegressionNe {
+    /// L2 (ridge) regularization added to the Gram diagonal; `0.0` gives
+    /// plain least squares.
+    pub ridge: f64,
+}
+
+impl LinearRegressionNe {
+    /// Plain least squares (no ridge).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ridge-regularized least squares.
+    pub fn with_ridge(ridge: f64) -> Self {
+        Self { ridge }
+    }
+
+    /// Solves `min ‖T w − y‖² + ridge ‖w‖²` via the normal equations.
+    ///
+    /// # Panics
+    /// Panics if `y` is not `n x 1`.
+    pub fn fit<M: LinearOperand>(&self, t: &M, y: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(y.shape(), (t.nrows(), 1), "linreg: y must be n x 1");
+        let mut cp = t.crossprod(); // factorized cross-product
+        if self.ridge > 0.0 {
+            for i in 0..cp.rows() {
+                let v = cp.get(i, i) + self.ridge;
+                cp.set(i, i, v);
+            }
+        }
+        let tty = t.t_lmm(y); // factorized transposed LMM
+        match solve_spd(&cp, &tty) {
+            Ok(w) => w,
+            // Singular Gram matrix: use the Moore–Penrose route.
+            Err(_) => ginv_sym_psd(&cp).matmul(&tty),
+        }
+    }
+}
+
+/// Gradient-descent linear regression (Algorithm 11/12).
+#[derive(Debug, Clone)]
+pub struct LinearRegressionGd {
+    /// Step size `α`.
+    pub alpha: f64,
+    /// Number of gradient iterations.
+    pub max_iter: usize,
+}
+
+impl Default for LinearRegressionGd {
+    fn default() -> Self {
+        Self {
+            alpha: 1e-4,
+            max_iter: 20,
+        }
+    }
+}
+
+impl LinearRegressionGd {
+    /// Creates a trainer with the given step size and iteration count.
+    pub fn new(alpha: f64, max_iter: usize) -> Self {
+        Self { alpha, max_iter }
+    }
+
+    /// Trains from the zero vector, returning the weights and the squared
+    /// error after each iteration.
+    ///
+    /// # Panics
+    /// Panics if `y` is not `n x 1`.
+    pub fn fit<M: LinearOperand>(&self, t: &M, y: &DenseMatrix) -> (DenseMatrix, Vec<f64>) {
+        assert_eq!(y.shape(), (t.nrows(), 1), "linreg: y must be n x 1");
+        let mut w = DenseMatrix::zeros(t.ncols(), 1);
+        let mut trace = Vec::with_capacity(self.max_iter);
+        for _ in 0..self.max_iter {
+            let resid = t.lmm(&w).sub(y); // T w − Y
+            let grad = t.t_lmm(&resid); // Tᵀ (T w − Y)
+            w.axpy(-self.alpha, &grad);
+            trace.push(resid.frobenius_norm().powi(2));
+        }
+        (w, trace)
+    }
+}
+
+/// Co-factor + AdaGrad linear regression (Schleich et al., Algorithm 13/14).
+#[derive(Debug, Clone)]
+pub struct LinearRegressionCofactor {
+    /// Base step size `α`.
+    pub alpha: f64,
+    /// Number of AdaGrad iterations.
+    pub max_iter: usize,
+    /// AdaGrad denominator floor.
+    pub eps: f64,
+}
+
+impl Default for LinearRegressionCofactor {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            max_iter: 20,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl LinearRegressionCofactor {
+    /// Creates a trainer with the given step size and iteration count.
+    pub fn new(alpha: f64, max_iter: usize) -> Self {
+        Self {
+            alpha,
+            max_iter,
+            eps: 1e-8,
+        }
+    }
+
+    /// Builds the co-factor matrix `C = [Yᵀ T; crossprod(T)]`
+    /// (`(d+1) x d`), the only data-touching step.
+    pub fn cofactor<M: LinearOperand>(&self, t: &M, y: &DenseMatrix) -> DenseMatrix {
+        let yt_t = t.t_lmm(y).transpose(); // Yᵀ T : 1 x d
+        let cp = t.crossprod(); // d x d
+        yt_t.vstack(&cp)
+    }
+
+    /// Trains via AdaGrad on the precomputed co-factor. The gradient is
+    /// `Cᵀ [−1; w] = crossprod(T) w − Tᵀ Y`, i.e. the least-squares
+    /// gradient, reconstructed without touching `T` again.
+    ///
+    /// # Panics
+    /// Panics if `y` is not `n x 1`.
+    pub fn fit<M: LinearOperand>(&self, t: &M, y: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(y.shape(), (t.nrows(), 1), "linreg: y must be n x 1");
+        let c = self.cofactor(t, y);
+        let d = t.ncols();
+        let mut w = DenseMatrix::zeros(d, 1);
+        let mut accum = vec![0.0f64; d];
+        for _ in 0..self.max_iter {
+            // [−1; w] is (d+1) x 1.
+            let mut v = vec![0.0; d + 1];
+            v[0] = -1.0;
+            v[1..].copy_from_slice(w.as_slice());
+            let grad = c.t_matmul(&DenseMatrix::col_vector(&v)); // d x 1
+            for (i, acc) in accum.iter_mut().enumerate() {
+                let g = grad.get(i, 0);
+                *acc += g * g;
+                let step = self.alpha / (acc.sqrt() + self.eps);
+                w.set(i, 0, w.get(i, 0) - step * g);
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_data::pkfk;
+
+    #[test]
+    fn ne_factorized_matches_materialized() {
+        let fx = pkfk(50, 3, 8, 4, 13);
+        let wf = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        let wm = LinearRegressionNe::new().fit(&fx.t, &fx.y);
+        assert!(wf.approx_eq(&wm, 1e-7));
+    }
+
+    #[test]
+    fn ne_recovers_planted_model() {
+        let fx = pkfk(100, 3, 10, 3, 17);
+        let w = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        assert!(
+            w.approx_eq(&fx.w_true, 1e-6),
+            "normal equations failed to recover the noiseless model"
+        );
+    }
+
+    #[test]
+    fn gd_factorized_matches_materialized() {
+        let fx = pkfk(40, 2, 5, 3, 19);
+        let trainer = LinearRegressionGd::new(1e-3, 15);
+        let (wf, tf) = trainer.fit(&fx.tn, &fx.y);
+        let (wm, tm) = trainer.fit(&fx.t, &fx.y);
+        assert!(wf.approx_eq(&wm, 1e-9));
+        for (a, b) in tf.iter().zip(&tm) {
+            assert!((a - b).abs() <= 1e-9 * b.max(1.0));
+        }
+    }
+
+    #[test]
+    fn gd_loss_decreases() {
+        let fx = pkfk(60, 3, 6, 2, 23);
+        let (_, trace) = LinearRegressionGd::new(1e-3, 30).fit(&fx.tn, &fx.y);
+        assert!(trace.last().unwrap() < trace.first().unwrap());
+    }
+
+    #[test]
+    fn cofactor_factorized_matches_materialized() {
+        let fx = pkfk(40, 2, 5, 3, 29);
+        let trainer = LinearRegressionCofactor::new(0.05, 25);
+        let cf = trainer.cofactor(&fx.tn, &fx.y);
+        let cm = trainer.cofactor(&fx.t, &fx.y);
+        assert!(cf.approx_eq(&cm, 1e-9));
+        let wf = trainer.fit(&fx.tn, &fx.y);
+        let wm = trainer.fit(&fx.t, &fx.y);
+        assert!(wf.approx_eq(&wm, 1e-9));
+    }
+
+    #[test]
+    fn cofactor_gradient_is_least_squares_gradient() {
+        // Cᵀ[−1; w] must equal TᵀT w − Tᵀ y for any w.
+        let fx = pkfk(30, 2, 4, 2, 31);
+        let trainer = LinearRegressionCofactor::default();
+        let c = trainer.cofactor(&fx.t, &fx.y);
+        let d = fx.t.cols();
+        let w = DenseMatrix::from_fn(d, 1, |i, _| (i as f64) * 0.1 - 0.2);
+        let mut v = vec![0.0; d + 1];
+        v[0] = -1.0;
+        v[1..].copy_from_slice(w.as_slice());
+        let via_cofactor = c.t_matmul(&DenseMatrix::col_vector(&v));
+        let direct = fx.t.crossprod().matmul(&w).sub(&fx.t.t_matmul_dense(&fx.y));
+        assert!(via_cofactor.approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let fx = pkfk(60, 3, 8, 3, 41);
+        let w0 = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        let w1 = LinearRegressionNe::with_ridge(100.0).fit(&fx.tn, &fx.y);
+        assert!(w1.frobenius_norm() < w0.frobenius_norm());
+    }
+
+    #[test]
+    fn singular_gram_falls_back_to_pseudo_inverse() {
+        // Duplicate feature columns make crossprod singular.
+        let base = DenseMatrix::from_fn(20, 2, |i, j| ((i * 3 + j) % 7) as f64 + 0.5);
+        let t = morpheus_core::Matrix::Dense(base.hstack(&base));
+        let y = DenseMatrix::from_fn(20, 1, |i, _| (i % 5) as f64);
+        let w = LinearRegressionNe::new().fit(&t, &y);
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+        // Minimum-norm solution: duplicated columns share weight equally.
+        assert!((w.get(0, 0) - w.get(2, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_three_solvers_approach_the_same_model() {
+        let fx = pkfk(120, 3, 8, 3, 37);
+        let w_ne = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        let (w_gd, _) = LinearRegressionGd::new(2e-3, 4000).fit(&fx.tn, &fx.y);
+        assert!(
+            w_gd.approx_eq(&w_ne, 1e-2),
+            "GD did not converge towards the NE solution"
+        );
+    }
+}

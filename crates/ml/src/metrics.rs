@@ -1,0 +1,117 @@
+//! Losses and quality metrics shared by tests, examples, and benchmarks.
+
+use morpheus_dense::DenseMatrix;
+
+/// Negative log-likelihood of logistic regression with `y ∈ {−1, +1}`:
+/// `Σ log(1 + exp(−yᵢ · tᵢ))`, given the margins `t = T w`.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn logistic_loss(tw: &DenseMatrix, y: &DenseMatrix) -> f64 {
+    assert_eq!(tw.shape(), y.shape(), "logistic_loss: shape mismatch");
+    tw.as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .map(|(&t, &yi)| {
+            let m = -yi * t;
+            // log1p(exp(m)) computed stably for large |m|.
+            if m > 30.0 {
+                m
+            } else {
+                m.exp().ln_1p()
+            }
+        })
+        .sum()
+}
+
+/// Classification accuracy of probabilities against labels `y ∈ {−1, +1}`
+/// with a 0.5 threshold.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn accuracy(proba: &DenseMatrix, y: &DenseMatrix) -> f64 {
+    assert_eq!(proba.shape(), y.shape(), "accuracy: shape mismatch");
+    let n = y.len().max(1);
+    let correct = proba
+        .as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .filter(|(&p, &yi)| (p >= 0.5) == (yi > 0.0))
+        .count();
+    correct as f64 / n as f64
+}
+
+/// Mean squared error between predictions and targets.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn mse(pred: &DenseMatrix, y: &DenseMatrix) -> f64 {
+    assert_eq!(pred.shape(), y.shape(), "mse: shape mismatch");
+    let n = y.len().max(1);
+    pred.as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Coefficient of determination `R²`.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn r2(pred: &DenseMatrix, y: &DenseMatrix) -> f64 {
+    assert_eq!(pred.shape(), y.shape(), "r2: shape mismatch");
+    let mean = y.mean();
+    let ss_res: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(y.as_slice())
+        .map(|(&p, &t)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = y.as_slice().iter().map(|&t| (t - mean) * (t - mean)).sum();
+    1.0 - ss_res / ss_tot.max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_loss_at_zero_margin() {
+        let tw = DenseMatrix::zeros(4, 1);
+        let y = DenseMatrix::col_vector(&[1.0, -1.0, 1.0, -1.0]);
+        // log(2) per example.
+        assert!((logistic_loss(&tw, &y) - 4.0 * 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_loss_stable_for_large_margins() {
+        let tw = DenseMatrix::col_vector(&[1000.0]);
+        let y = DenseMatrix::col_vector(&[-1.0]);
+        let l = logistic_loss(&tw, &y);
+        assert!(l.is_finite());
+        assert!((l - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_matches() {
+        let p = DenseMatrix::col_vector(&[0.9, 0.2, 0.6, 0.4]);
+        let y = DenseMatrix::col_vector(&[1.0, -1.0, -1.0, -1.0]);
+        assert!((accuracy(&p, &y) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_and_r2_on_perfect_fit() {
+        let y = DenseMatrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(mse(&y, &y), 0.0);
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_zero_for_mean_predictor() {
+        let y = DenseMatrix::col_vector(&[1.0, 2.0, 3.0]);
+        let mean_pred = DenseMatrix::filled(3, 1, 2.0);
+        assert!(r2(&mean_pred, &y).abs() < 1e-12);
+    }
+}

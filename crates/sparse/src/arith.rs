@@ -1,0 +1,136 @@
+//! Element-wise arithmetic on CSR matrices.
+//!
+//! Scalar operations that preserve zeros (`*`, `/` by non-zero, `^` with
+//! positive exponent) stay sparse; operations that do not (`+ x`, `exp`)
+//! must densify — the `Matrix` enum in `morpheus-core` makes that call.
+
+use crate::CsrMatrix;
+
+impl CsrMatrix {
+    /// Applies `f` to the stored non-zeros only.
+    ///
+    /// Correct as a full element-wise map **only when** `f(0) == 0`; callers
+    /// needing general maps should densify first (see
+    /// `morpheus_core::Matrix::map`).
+    pub fn map_nnz(&self, f: impl Fn(f64) -> f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in out.values_mut() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Multiplies every entry by a scalar, preserving sparsity.
+    pub fn scalar_mul(&self, x: f64) -> CsrMatrix {
+        self.map_nnz(|v| v * x)
+    }
+
+    /// Divides every entry by a scalar, preserving sparsity.
+    pub fn scalar_div(&self, x: f64) -> CsrMatrix {
+        self.map_nnz(|v| v / x)
+    }
+
+    /// Raises every stored entry to the power `x` (zero-preserving for
+    /// `x > 0`).
+    pub fn scalar_pow(&self, x: f64) -> CsrMatrix {
+        if x == 2.0 {
+            self.map_nnz(|v| v * v)
+        } else {
+            self.map_nnz(|v| v.powf(x))
+        }
+    }
+
+    /// Element-wise sum of two CSR matrices (sorted two-pointer merge).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "CsrMatrix::add: shape mismatch"
+        );
+        let mut indptr = Vec::with_capacity(self.rows() + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        indptr.push(0);
+        for i in 0..self.rows() {
+            let (ac, av) = self.row(i);
+            let (bc, bv) = other.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() || q < bc.len() {
+                let (c, v) = if q >= bc.len() || (p < ac.len() && ac[p] < bc[q]) {
+                    let r = (ac[p], av[p]);
+                    p += 1;
+                    r
+                } else if p >= ac.len() || bc[q] < ac[p] {
+                    let r = (bc[q], bv[q]);
+                    q += 1;
+                    r
+                } else {
+                    let r = (ac[p], av[p] + bv[q]);
+                    p += 1;
+                    q += 1;
+                    r
+                };
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.rows(), self.cols(), indptr, indices, values)
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &CsrMatrix) -> CsrMatrix {
+        self.add(&other.scalar_mul(-1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> CsrMatrix {
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -3.0)]).unwrap()
+    }
+
+    #[test]
+    fn zero_preserving_scalar_ops() {
+        let m = sp();
+        assert_eq!(m.scalar_mul(2.0).to_dense(), m.to_dense().scalar_mul(2.0));
+        assert_eq!(m.scalar_div(2.0).to_dense(), m.to_dense().scalar_div(2.0));
+        assert_eq!(m.scalar_pow(2.0).to_dense(), m.to_dense().scalar_pow(2.0));
+        assert_eq!(m.scalar_pow(3.0).get(1, 1), -27.0);
+    }
+
+    #[test]
+    fn sparse_add_and_sub_match_dense() {
+        let a = sp();
+        let b = CsrMatrix::from_triplets(2, 3, &[(0, 1, 5.0), (0, 2, -2.0), (1, 1, 3.0)]).unwrap();
+        let s = a.add(&b);
+        assert_eq!(s.to_dense(), a.to_dense().add(&b.to_dense()));
+        // cancellations drop stored entries
+        assert_eq!(s.get(0, 2), 0.0);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(a.sub(&b).to_dense(), a.to_dense().sub(&b.to_dense()));
+    }
+
+    #[test]
+    fn map_nnz_leaves_structure() {
+        let m = sp().map_nnz(|v| v * v);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        sp().add(&CsrMatrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for fallible sparse-matrix constructors.
+
+use std::fmt;
+
+/// Errors produced by fallible [`crate::CsrMatrix`] constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A triplet referenced a row or column outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// Raw CSR arrays were internally inconsistent.
+    MalformedCsr(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "triplet ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            SparseError::MalformedCsr(msg) => write!(f, "malformed CSR arrays: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience alias for results with [`SparseError`].
+pub type SparseResult<T> = std::result::Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 0,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(e.to_string().contains("(5, 0)"));
+        let m = SparseError::MalformedCsr("bad indptr".into());
+        assert!(m.to_string().contains("bad indptr"));
+    }
+}

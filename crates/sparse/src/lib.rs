@@ -1,0 +1,36 @@
+//! CSR sparse matrix kernels for the Morpheus factorized linear-algebra stack.
+//!
+//! The paper's normalized matrix leans on *highly sparse indicator matrices*:
+//! the PK-FK indicator `K` (exactly one non-zero per row), and the M:N
+//! indicators `I_S`/`I_R`. Real-world feature matrices are sparse one-hot
+//! encodings. This crate provides a compressed-sparse-row matrix with the
+//! kernels those rewrites need: sparse×dense and dense×sparse products,
+//! sparse×sparse products (SpGEMM), transposition, aggregations, and row and
+//! column scaling.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_sparse::CsrMatrix;
+//! use morpheus_dense::DenseMatrix;
+//!
+//! // The indicator matrix K for foreign keys [0, 1, 1, 0] over 2 R-rows.
+//! let k = CsrMatrix::indicator(&[0, 1, 1, 0], 2);
+//! let r = DenseMatrix::from_rows(&[&[1.1, 2.2], &[3.3, 4.4]]);
+//! let kr = k.spmm_dense(&r); // replicates R's rows per the join
+//! assert_eq!(kr.row(0), &[1.1, 2.2]);
+//! assert_eq!(kr.row(2), &[3.3, 4.4]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod agg;
+mod arith;
+mod convert;
+mod csr;
+mod error;
+mod products;
+
+pub use csr::{CsrMatrix, Triplet};
+pub use error::{SparseError, SparseResult};

@@ -1,0 +1,355 @@
+//! Multiplication kernels: sparse×dense, dense×sparse, sparse×sparse, and
+//! the symmetric cross-product.
+//!
+//! These are the kernels the factorized rewrites spend their time in:
+//! `K (R X)` is a sparse×dense SpMM, `(X K) R` needs dense×sparse, the
+//! efficient cross-product needs `Kᵀ S` (transposed SpMM) and sparse
+//! cross-products of the base tables.
+
+use crate::CsrMatrix;
+use morpheus_dense::DenseMatrix;
+
+impl CsrMatrix {
+    /// Sparse × dense product `self * x` → dense.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != x.rows()`.
+    pub fn spmm_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols(),
+            x.rows(),
+            "spmm_dense: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            x.rows(),
+            x.cols()
+        );
+        let n = x.cols();
+        if n == 1 {
+            // Vector fast path: one fused scalar accumulation per non-zero.
+            let xs = x.as_slice();
+            let sums: Vec<f64> = (0..self.rows())
+                .map(|i| {
+                    let (cols, vals) = self.row(i);
+                    cols.iter().zip(vals).map(|(&c, &v)| v * xs[c]).sum()
+                })
+                .collect();
+            return DenseMatrix::col_vector(&sums);
+        }
+        let mut out = DenseMatrix::zeros(self.rows(), n);
+        for i in 0..self.rows() {
+            let (cols, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xrow = x.row(c);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `selfᵀ * x` → dense, computed by
+    /// scattering rows of `x` — the transpose is never materialized.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != x.rows()`.
+    pub fn t_spmm_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows(),
+            x.rows(),
+            "t_spmm_dense: row counts differ ({} vs {})",
+            self.rows(),
+            x.rows()
+        );
+        let n = x.cols();
+        let mut out = DenseMatrix::zeros(self.cols(), n);
+        let o = out.as_mut_slice();
+        if n == 1 {
+            // Vector fast path: scalar scatter per non-zero.
+            let xs = x.as_slice();
+            for (i, &xv) in xs.iter().enumerate() {
+                let (cols, vals) = self.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    o[c] += v * xv;
+                }
+            }
+            return out;
+        }
+        for i in 0..self.rows() {
+            let (cols, vals) = self.row(i);
+            let xrow = x.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let orow = &mut o[c * n..(c + 1) * n];
+                for (ov, &xv) in orow.iter_mut().zip(xrow) {
+                    *ov += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense × sparse product `x * self` → dense.
+    ///
+    /// Iterates the sparse matrix row-wise and scatters into the output:
+    /// `out[i, c] += x[i, k] * self[k, c]`.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != self.rows()`.
+    pub fn dense_spmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            x.cols(),
+            self.rows(),
+            "dense_spmm: inner dimensions differ ({}x{} * {}x{})",
+            x.rows(),
+            x.cols(),
+            self.rows(),
+            self.cols()
+        );
+        let m = x.rows();
+        let n = self.cols();
+        let mut out = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            let xrow = x.row(i);
+            let orow = out.row_mut(i);
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let (cols, vals) = self.row(k);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    orow[c] += xv * v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × sparse product `self * other` → sparse (SpGEMM).
+    ///
+    /// Gustavson's algorithm with a dense accumulator row and a touched-column
+    /// list, so each output row costs O(flops + |touched|).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "spgemm: inner dimensions differ ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let n = other.cols();
+        let mut acc = vec![0.0f64; n];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut indptr = Vec::with_capacity(self.rows() + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        for i in 0..self.rows() {
+            let (acols, avals) = self.row(i);
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = other.row(k);
+                for (&c, &bv) in bcols.iter().zip(bvals) {
+                    if acc[c] == 0.0 && !touched.contains(&c) {
+                        touched.push(c);
+                    }
+                    acc[c] += av * bv;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                if acc[c] != 0.0 {
+                    indices.push(c);
+                    values.push(acc[c]);
+                }
+                acc[c] = 0.0;
+            }
+            touched.clear();
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.rows(), n, indptr, indices, values)
+    }
+
+    /// Symmetric cross-product `selfᵀ * self` → dense `d x d`.
+    ///
+    /// Accumulates outer products of the sparse rows into the upper triangle,
+    /// then mirrors — the same symmetry saving as the dense kernel.
+    pub fn crossprod_dense(&self) -> DenseMatrix {
+        let d = self.cols();
+        let mut out = DenseMatrix::zeros(d, d);
+        let o = out.as_mut_slice();
+        for i in 0..self.rows() {
+            let (cols, vals) = self.row(i);
+            for (p, (&ci, &vi)) in cols.iter().zip(vals).enumerate() {
+                let orow = &mut o[ci * d..(ci + 1) * d];
+                for (&cj, &vj) in cols[p..].iter().zip(&vals[p..]) {
+                    orow[cj] += vi * vj;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in (i + 1)..d {
+                o[j * d + i] = o[i * d + j];
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` for two sparse matrices with equal row counts → dense.
+    ///
+    /// Used for the off-diagonal blocks `P = Rᵀ (Kᵀ S)` of the cross-product
+    /// rewrites when both operands are sparse.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn t_spgemm_dense(&self, other: &CsrMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "t_spgemm_dense: row counts differ ({} vs {})",
+            self.rows(),
+            other.rows()
+        );
+        let d1 = self.cols();
+        let d2 = other.cols();
+        let mut out = DenseMatrix::zeros(d1, d2);
+        let o = out.as_mut_slice();
+        for i in 0..self.rows() {
+            let (acols, avals) = self.row(i);
+            let (bcols, bvals) = other.row(i);
+            for (&ca, &va) in acols.iter().zip(avals) {
+                let orow = &mut o[ca * d2..(ca + 1) * d2];
+                for (&cb, &vb) in bcols.iter().zip(bvals) {
+                    orow[cb] += va * vb;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            x.len(),
+            self.cols(),
+            "spmv: vector length {} != cols {}",
+            x.len(),
+            self.cols()
+        );
+        (0..self.rows())
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+                (2, 3, -1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dn(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |i, j| (i * cols + j + 1) as f64)
+    }
+
+    #[test]
+    fn spmm_dense_matches_dense_product() {
+        let a = sp();
+        let x = dn(4, 2);
+        assert!(a.spmm_dense(&x).approx_eq(&a.to_dense().matmul(&x), 1e-12));
+    }
+
+    #[test]
+    fn t_spmm_dense_matches_transpose_product() {
+        let a = sp();
+        let x = dn(3, 2);
+        assert!(a
+            .t_spmm_dense(&x)
+            .approx_eq(&a.to_dense().transpose().matmul(&x), 1e-12));
+    }
+
+    #[test]
+    fn dense_spmm_matches_dense_product() {
+        let a = sp();
+        let x = dn(2, 3);
+        assert!(a.dense_spmm(&x).approx_eq(&x.matmul(&a.to_dense()), 1e-12));
+    }
+
+    #[test]
+    fn spgemm_matches_dense_product() {
+        let a = sp();
+        let b = a.transpose();
+        let c = a.spgemm(&b);
+        assert!(c
+            .to_dense()
+            .approx_eq(&a.to_dense().matmul(&b.to_dense()), 1e-12));
+        // cancellation should drop entries
+        let p = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, -1.0)]).unwrap();
+        let q = CsrMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(p.spgemm(&q).nnz(), 0);
+    }
+
+    #[test]
+    fn crossprod_matches_dense() {
+        let a = sp();
+        assert!(a
+            .crossprod_dense()
+            .approx_eq(&a.to_dense().crossprod(), 1e-12));
+    }
+
+    #[test]
+    fn t_spgemm_dense_matches_dense() {
+        let a = sp();
+        let b = CsrMatrix::from_triplets(3, 2, &[(0, 0, 2.0), (2, 1, 3.0)]).unwrap();
+        let expected = a.to_dense().transpose().matmul(&b.to_dense());
+        assert!(a.t_spgemm_dense(&b).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn spmv_matches_matvec() {
+        let a = sp();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.spmv(&x), a.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn indicator_products_replicate_rows() {
+        // K (R x) — the inner building block of factorized LMM.
+        let k = CsrMatrix::indicator(&[1, 0, 1], 2);
+        let r = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let kr = k.spmm_dense(&r);
+        assert_eq!(kr.row(0), &[3.0, 4.0]);
+        assert_eq!(kr.row(1), &[1.0, 2.0]);
+        assert_eq!(kr.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn spmm_shape_mismatch_panics() {
+        sp().spmm_dense(&DenseMatrix::zeros(3, 2));
+    }
+}

@@ -1,0 +1,61 @@
+//! The heuristic decision rule in action (paper §3.7 / §5.1): factorized
+//! execution is *not* always faster, and the τ/ρ threshold rule predicts
+//! when to fall back to materialized execution.
+//!
+//! Sweeps the (tuple ratio, feature ratio) plane, measures the LMM speedup
+//! at each point, and shows `AdaptiveMatrix` routing.
+//!
+//! ```sh
+//! cargo run --release --example decision_rule
+//! ```
+
+use morpheus::core::LinearOperand;
+use morpheus::data::synth::PkFkSpec;
+use morpheus::prelude::*;
+use std::time::Instant;
+
+fn time_lmm<M: LinearOperand>(t: &M, x: &DenseMatrix, reps: usize) -> f64 {
+    let _ = t.lmm(x); // warmup
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(t.lmm(x));
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let rule = DecisionRule::default();
+    println!(
+        "decision rule: factorize iff TR >= {} and FR >= {}\n",
+        rule.tau, rule.rho
+    );
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "TR", "FR", "F (s)", "M (s)", "speedup", "predicted", "routed"
+    );
+
+    for &tr in &[1.0, 2.0, 5.0, 10.0, 20.0] {
+        for &fr in &[0.25, 1.0, 4.0] {
+            let ds = PkFkSpec::from_ratios(tr, fr, 1_000, 20, 9).generate();
+            let tm = ds.tn.materialize();
+            let x = DenseMatrix::from_fn(ds.tn.cols(), 4, |i, j| ((i + j) % 5) as f64 * 0.2);
+            let t_f = time_lmm(&ds.tn, &x, 5);
+            let t_m = time_lmm(&tm, &x, 5);
+            let predicted = rule.should_factorize(&ds.tn);
+            let adaptive = AdaptiveMatrix::with_rule(ds.tn, &rule);
+            println!(
+                "{:>6} {:>6} {:>12.6} {:>12.6} {:>8.2}x {:>11} {:>9}",
+                tr,
+                fr,
+                t_f,
+                t_m,
+                t_m / t_f,
+                if predicted { "factorize" } else { "material." },
+                if adaptive.is_factorized() { "F" } else { "M" },
+            );
+        }
+    }
+
+    println!("\nThe low-TR/low-FR corner is the paper's \"L-shaped\" slow-down region;");
+    println!("the conservative thresholds route those cases to materialized execution.");
+}

@@ -1,0 +1,108 @@
+//! Property-based validation of the chunked (ORE-analog) backends: for
+//! random join shapes, chunk sizes, and worker counts, every operator must
+//! agree with the in-memory normalized/materialized result — chunking and
+//! parallelism are pure execution details.
+
+use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus::core::LinearOperand;
+use morpheus::prelude::*;
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed | 1;
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn pkfk(n_s: usize, d_s: usize, n_r: usize, d_r: usize, seed: u64) -> NormalizedMatrix {
+    let s = mat(n_s, d_s, seed);
+    let r = mat(n_r, d_r, seed ^ 0xBEEF);
+    let fk: Vec<usize> = (0..n_s).map(|i| (i * 13 + 5) % n_r).collect();
+    NormalizedMatrix::pk_fk(s.into(), &fk, r.into())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chunked_normalized_agrees_with_in_memory(
+        n_s in 3usize..40,
+        d_s in 1usize..4,
+        n_r in 1usize..6,
+        d_r in 1usize..4,
+        chunk in 1usize..16,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let tn = pkfk(n_s, d_s, n_r, d_r, seed);
+        let c = ChunkedNormalizedMatrix::from_normalized(&tn, chunk, Executor::new(threads));
+        prop_assert_eq!(c.nrows(), tn.rows());
+        prop_assert_eq!(c.ncols(), tn.cols());
+
+        let x = mat(tn.cols(), 2, seed ^ 0x11);
+        prop_assert!(c.lmm(&x).approx_eq(&tn.lmm(&x), 1e-10));
+        let y = mat(tn.rows(), 2, seed ^ 0x22);
+        prop_assert!(c.t_lmm(&y).approx_eq(&tn.t_lmm(&y), 1e-10));
+        let z = mat(2, tn.rows(), seed ^ 0x33);
+        prop_assert!(c.rmm(&z).approx_eq(&tn.rmm(&z), 1e-10));
+        prop_assert!(LinearOperand::crossprod(&c).approx_eq(&tn.crossprod(), 1e-9));
+        prop_assert!(LinearOperand::row_sums(&c).approx_eq(&tn.row_sums(), 1e-10));
+        prop_assert!(LinearOperand::col_sums(&c).approx_eq(&tn.col_sums(), 1e-10));
+        let (cs, ts) = (LinearOperand::sum(&c), tn.sum());
+        prop_assert!((cs - ts).abs() <= 1e-9 * ts.abs().max(1.0));
+        prop_assert!(c.materialize().approx_eq(&tn.materialize(), 1e-12));
+    }
+
+    #[test]
+    fn chunked_matrix_agrees_with_dense(
+        rows in 1usize..40,
+        cols in 1usize..6,
+        chunk in 1usize..16,
+        threads in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let d = mat(rows, cols, seed);
+        let m = Matrix::Dense(d.clone());
+        let c = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(threads));
+        prop_assert_eq!(c.n_chunks(), rows.div_ceil(chunk).max(1));
+
+        let x = mat(cols, 2, seed ^ 0x44);
+        prop_assert!(c.lmm(&x).approx_eq(&d.matmul(&x), 1e-10));
+        let y = mat(rows, 2, seed ^ 0x55);
+        prop_assert!(c.t_lmm(&y).approx_eq(&d.t_matmul(&y), 1e-10));
+        prop_assert!(LinearOperand::crossprod(&c).approx_eq(&d.crossprod(), 1e-9));
+        prop_assert!(c.scale(2.5).materialize().approx_eq(&m.scalar_mul(2.5), 1e-12));
+        prop_assert!(c.squared().materialize().approx_eq(&m.scalar_pow(2.0), 1e-12));
+    }
+
+    #[test]
+    fn training_is_chunk_invariant(
+        chunk_a in 1usize..8,
+        chunk_b in 9usize..32,
+        seed in any::<u64>(),
+    ) {
+        // The fitted model must not depend on the chunking or thread count.
+        let tn = pkfk(30, 2, 4, 3, seed);
+        let y = mat(30, 1, seed ^ 0x66).map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+        let trainer = LogisticRegressionGd::new(1e-2, 4);
+        let w_a = trainer
+            .fit(
+                &ChunkedNormalizedMatrix::from_normalized(&tn, chunk_a, Executor::new(1)),
+                &y,
+            )
+            .w;
+        let w_b = trainer
+            .fit(
+                &ChunkedNormalizedMatrix::from_normalized(&tn, chunk_b, Executor::new(3)),
+                &y,
+            )
+            .w;
+        let w_ref = trainer.fit(&tn, &y).w;
+        prop_assert!(w_a.approx_eq(&w_ref, 1e-10));
+        prop_assert!(w_b.approx_eq(&w_ref, 1e-10));
+    }
+}

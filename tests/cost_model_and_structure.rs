@@ -1,0 +1,105 @@
+//! Integration tests for the cost model (Table 3/11), the decision rule,
+//! and structural invariants that span crates.
+
+use morpheus::core::cost::{self, Dims};
+use morpheus::data::synth::PkFkSpec;
+use morpheus::prelude::*;
+
+#[test]
+fn cost_model_limits_match_paper_table3() {
+    // lim TR→∞ speedup = 1 + FR for linear ops; (1+FR)² for crossprod.
+    for fr in [0.5, 1.0, 2.0, 4.0] {
+        let d = Dims {
+            n_s: 1e9,
+            d_s: 20.0,
+            n_r: 1e3,
+            d_r: fr * 20.0,
+        };
+        let lin = cost::scalar_op(&d).speedup();
+        assert!((lin - (1.0 + fr)).abs() / (1.0 + fr) < 1e-3);
+        let cp = cost::crossprod(&d).speedup();
+        assert!((cp - (1.0 + fr).powi(2)).abs() / (1.0 + fr).powi(2) < 1e-2);
+    }
+    // lim FR→∞ speedup = TR.
+    for tr in [2.0, 10.0, 50.0] {
+        let d = Dims {
+            n_s: tr * 1e4,
+            d_s: 1.0,
+            n_r: 1e4,
+            d_r: 1e7,
+        };
+        let lin = cost::scalar_op(&d).speedup();
+        assert!((lin - tr).abs() / tr < 1e-2);
+    }
+}
+
+#[test]
+fn cost_model_redundancy_equals_size_ratio() {
+    // §3.3.1: the scalar-op speedup is exactly size(T) / (size(S)+size(R)).
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 100, 10, 1).generate();
+    let d = Dims::new(1000, 10, 100, 20);
+    let predicted = cost::scalar_op(&d).speedup();
+    assert!((predicted - ds.tn.redundancy_ratio()).abs() < 1e-9);
+}
+
+#[test]
+fn decision_rule_matches_cost_model_sign_on_clear_cases() {
+    let rule = DecisionRule::default();
+    // Deep in the win region, the model predicts > 1 and the rule says F.
+    let hot = PkFkSpec::from_ratios(20.0, 4.0, 50, 5, 2).generate();
+    assert!(rule.should_factorize(&hot.tn));
+    let d_hot = Dims::new(1000, 5, 50, 20);
+    assert!(cost::scalar_op(&d_hot).speedup() > 1.0);
+    // Deep in the loss region the rule refuses even though raw flop counts
+    // might still favor F — it is deliberately conservative about operator
+    // overheads (§5.1).
+    let cold = PkFkSpec::from_ratios(1.0, 0.25, 40, 8, 3).generate();
+    assert!(!rule.should_factorize(&cold.tn));
+}
+
+#[test]
+fn normalized_matrix_never_materializes_during_rewrites() {
+    // Indirect structural check: factorized operator results on a join
+    // whose materialized form would be huge. 2000 logical rows x 3000
+    // columns = 48 MB dense — but the factorized ops only ever touch the
+    // base tables (~3000 entries each); running several of them in
+    // milliseconds-scale memory is the evidence.
+    let s = DenseMatrix::from_fn(2_000, 1, |i, _| (i % 17) as f64);
+    let r = DenseMatrix::from_fn(2, 2_999, |i, j| ((i + j) % 13) as f64 * 0.1);
+    let fk: Vec<usize> = (0..2_000).map(|i| i % 2).collect();
+    let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+    assert_eq!(tn.cols(), 3_000);
+    let x = DenseMatrix::from_fn(3_000, 1, |i, _| ((i % 7) as f64 - 3.0) * 0.01);
+    let out = tn.lmm(&x);
+    assert_eq!(out.shape(), (2_000, 1));
+    assert!((tn.sum() - tn.materialize().sum()).abs() < 1e-6 * tn.sum().abs().max(1.0));
+}
+
+#[test]
+fn join_stats_round_trip_through_generators() {
+    let spec = PkFkSpec::from_ratios(12.0, 3.0, 64, 8, 9);
+    let ds = spec.generate();
+    let stats = ds.tn.stats();
+    assert_eq!(stats.n_rows, 768);
+    assert_eq!(stats.d_entity, 8);
+    assert_eq!(stats.attr_dims, vec![(64, 24)]);
+    assert!((stats.tuple_ratio - 12.0).abs() < 1e-12);
+    assert!((stats.feature_ratio - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn facade_prelude_exposes_the_working_set() {
+    // Compile-time check that the prelude covers the README quickstart.
+    let s = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+    let r = DenseMatrix::from_rows(&[&[3.0]]);
+    let tn = NormalizedMatrix::pk_fk(s.into(), &[0, 0], r.into());
+    let _adaptive = AdaptiveMatrix::new(tn.clone());
+    let _rule = DecisionRule::default();
+    let _csr = CsrMatrix::identity(2);
+    let _km = KMeans::new(1, 1);
+    let _gn = Gnmf::new(1, 1);
+    let _lr = LogisticRegressionGd::default();
+    let _ne = LinearRegressionNe::new();
+    let _gd = LinearRegressionGd::default();
+    assert_eq!(tn.rows(), 2);
+}

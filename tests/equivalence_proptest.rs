@@ -1,0 +1,227 @@
+//! Property-based equivalence suite: for *randomly generated* normalized
+//! matrices of every join shape, every factorized operator must equal its
+//! materialized counterpart — the paper's core correctness claim
+//! ("our rewrites do not alter the outputs of the operators", §3.7).
+
+use morpheus::prelude::*;
+use morpheus_core::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a dense PK-FK normalized matrix with bounded dimensions.
+fn arb_pkfk() -> impl Strategy<Value = NormalizedMatrix> {
+    (1usize..20, 0usize..4, 1usize..6, 1usize..5, any::<u64>()).prop_map(
+        |(n_s, d_s, n_r, d_r, seed)| {
+            let mut state = seed;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let s = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+            let r = DenseMatrix::from_fn(n_r, d_r, |_, _| next());
+            let fk: Vec<usize> = (0..n_s)
+                .map(|i| {
+                    let v = (next().abs() * n_r as f64) as usize;
+                    (i + v) % n_r
+                })
+                .collect();
+            NormalizedMatrix::pk_fk(s.into(), &fk, r.into())
+        },
+    )
+}
+
+/// Strategy: a two-table M:N normalized matrix built from key columns.
+fn arb_mn() -> impl Strategy<Value = NormalizedMatrix> {
+    (
+        2usize..10,
+        2usize..10,
+        1usize..4,
+        1usize..4,
+        1u64..5,
+        any::<u64>(),
+    )
+        .prop_map(|(n_s, n_r, d_s, d_r, n_u, seed)| {
+            let mut state = seed;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let s = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+            let r = DenseMatrix::from_fn(n_r, d_r, |_, _| next());
+            // Guarantee at least one shared key so T is non-empty.
+            let js: Vec<u64> = (0..n_s).map(|i| (i as u64) % n_u).collect();
+            let jr: Vec<u64> = (0..n_r).map(|i| (i as u64) % n_u).collect();
+            NormalizedMatrix::mn_join_on_keys(s.into(), &js, r.into(), &jr)
+        })
+}
+
+/// Strategy: a star-schema normalized matrix with two attribute tables.
+fn arb_star() -> impl Strategy<Value = NormalizedMatrix> {
+    (
+        2usize..15,
+        1usize..3,
+        1usize..5,
+        1usize..4,
+        1usize..4,
+        1usize..3,
+        any::<u64>(),
+    )
+        .prop_map(|(n_s, d_s, n_r1, d_r1, n_r2, d_r2, seed)| {
+            let mut state = seed;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            let s = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+            let r1 = DenseMatrix::from_fn(n_r1, d_r1, |_, _| next());
+            let r2 = DenseMatrix::from_fn(n_r2, d_r2, |_, _| next());
+            let fk1: Vec<usize> = (0..n_s).map(|i| i % n_r1).collect();
+            let fk2: Vec<usize> = (0..n_s).map(|i| (i * 7 + 1) % n_r2).collect();
+            NormalizedMatrix::star(s.into(), vec![(fk1, r1.into()), (fk2, r2.into())])
+        })
+}
+
+fn param(rows: usize, cols: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        ((i * 13 + j * 5) % 11) as f64 * 0.25 - 1.0
+    })
+}
+
+fn check_all_ops(tn: &NormalizedMatrix) {
+    let tm = tn.materialize();
+    let tol = 1e-9;
+
+    // Scalar ops.
+    prop_assert_mat(&tn.scalar_mul(2.5).materialize(), &tm.scalar_mul(2.5), tol);
+    prop_assert_mat(
+        &tn.scalar_add(-1.5).materialize(),
+        &tm.scalar_add(-1.5),
+        tol,
+    );
+    prop_assert_mat(&tn.scalar_pow(2.0).materialize(), &tm.scalar_pow(2.0), tol);
+    prop_assert_mat(&tn.exp().materialize(), &tm.exp(), tol);
+
+    // Aggregations.
+    assert!(tn.row_sums().approx_eq(&tm.row_sums(), tol));
+    assert!(tn.col_sums().approx_eq(&tm.col_sums(), tol));
+    let (fs, ms) = (tn.sum(), tm.sum());
+    assert!((fs - ms).abs() <= tol * ms.abs().max(1.0));
+
+    // Multiplications.
+    if tn.cols() > 0 {
+        let x = param(tn.cols(), 2);
+        assert!(tn.lmm(&x).approx_eq(&tm.matmul_dense(&x), tol));
+        let y = param(tn.rows(), 2);
+        assert!(tn.t_lmm(&y).approx_eq(&tm.t_matmul_dense(&y), tol));
+        let z = param(2, tn.rows());
+        assert!(tn.rmm(&z).approx_eq(&tm.dense_matmul(&z), tol));
+
+        // Cross-products (both variants) and the Gram matrix.
+        assert!(tn.crossprod().approx_eq(&tm.crossprod(), 1e-8));
+        assert!(tn.crossprod_naive().approx_eq(&tm.crossprod(), 1e-8));
+        assert!(tn.tcrossprod().approx_eq(&tm.tcrossprod(), 1e-8));
+
+        // Transposed operators (appendix A).
+        let tt = tn.transpose();
+        let mt = tm.transpose();
+        let xt = param(tt.cols(), 2);
+        assert!(tt.lmm(&xt).approx_eq(&mt.matmul_dense(&xt), tol));
+        assert!(tt.row_sums().approx_eq(&mt.row_sums(), tol));
+        assert!(tt.col_sums().approx_eq(&mt.col_sums(), tol));
+        assert!(tt.crossprod().approx_eq(&mt.crossprod(), 1e-8));
+    }
+}
+
+fn prop_assert_mat(a: &Matrix, b: &Matrix, tol: f64) {
+    assert!(
+        a.approx_eq(b, tol),
+        "factorized/materialized mismatch: {a:?} vs {b:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pkfk_operators_equal_materialized(tn in arb_pkfk()) {
+        check_all_ops(&tn);
+    }
+
+    #[test]
+    fn mn_operators_equal_materialized(tn in arb_mn()) {
+        check_all_ops(&tn);
+    }
+
+    #[test]
+    fn star_operators_equal_materialized(tn in arb_star()) {
+        check_all_ops(&tn);
+    }
+
+    #[test]
+    fn pruning_preserves_semantics(tn in arb_pkfk()) {
+        let pruned = tn.prune();
+        prop_assert!(pruned.materialize().approx_eq(&tn.materialize(), 1e-12));
+    }
+
+    #[test]
+    fn ginv_satisfies_moore_penrose(tn in arb_pkfk()) {
+        // Skip degenerate zero-width inputs.
+        if tn.cols() == 0 {
+            return Ok(());
+        }
+        let p = tn.ginv();
+        let t = tn.materialize().to_dense();
+        let tp = t.matmul(&p);
+        prop_assert!(tp.matmul(&t).approx_eq(&t, 1e-5), "T P T != T");
+        prop_assert!(p.matmul(&tp).approx_eq(&p, 1e-5), "P T P != P");
+    }
+
+    #[test]
+    fn scalar_op_chains_stay_closed(tn in arb_star()) {
+        // ((2T + 1)^2) / 4 computed entirely in normalized land.
+        let chained = tn
+            .scalar_mul(2.0)
+            .scalar_add(1.0)
+            .scalar_pow(2.0)
+            .scalar_div(4.0);
+        let expected = tn
+            .materialize()
+            .scalar_mul(2.0)
+            .scalar_add(1.0)
+            .scalar_pow(2.0)
+            .scalar_div(4.0);
+        prop_assert!(chained.materialize().approx_eq(&expected, 1e-9));
+    }
+
+    #[test]
+    fn dmm_matches_materialized(seed in any::<u64>(), n_s in 3usize..10, d_s in 1usize..3, n_r in 1usize..4, d_r in 1usize..3) {
+        // Build A, then derive a conformable B with n_B = d_A.
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let sa = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+        let ra = DenseMatrix::from_fn(n_r, d_r, |_, _| next());
+        let fka: Vec<usize> = (0..n_s).map(|i| i % n_r).collect();
+        let a = NormalizedMatrix::pk_fk(sa.into(), &fka, ra.into());
+
+        let n_b = a.cols();
+        let (d_sb, n_rb, d_rb) = (1usize, 2usize.min(n_b), 2usize);
+        let sb = DenseMatrix::from_fn(n_b, d_sb, |_, _| next());
+        let rb = DenseMatrix::from_fn(n_rb, d_rb, |_, _| next());
+        let fkb: Vec<usize> = (0..n_b).map(|i| i % n_rb).collect();
+        let b = NormalizedMatrix::pk_fk(sb.into(), &fkb, rb.into());
+
+        let f = a.dmm(&b).to_dense();
+        let m = a.materialize().to_dense().matmul(&b.materialize().to_dense());
+        prop_assert!(f.approx_eq(&m, 1e-8));
+    }
+}

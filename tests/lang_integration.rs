@@ -1,0 +1,188 @@
+//! Integration tests for the scripting layer: full paper algorithms written
+//! as R-style scripts, run against every operand kind, and checked against
+//! the native Rust implementations.
+
+use morpheus::lang::{eval_program, optimize, parse, Env, Value};
+use morpheus::prelude::*;
+
+fn bind_common(env: &mut Env, y: &DenseMatrix, alpha: f64, d: usize) {
+    env.bind("Y", Value::Dense(y.clone()));
+    env.bind("alpha", Value::Scalar(alpha));
+    env.bind("d", Value::Scalar(d as f64));
+}
+
+#[test]
+fn logistic_regression_script_on_star_schema() {
+    let ds = StarSpec {
+        n_s: 80,
+        d_s: 2,
+        tables: vec![(6, 3), (4, 2)],
+        seed: 1,
+    }
+    .generate();
+    let y = ds.labels();
+    let script = r#"
+        w = zeros(d, 1)
+        for (i in 1:8) {
+            w = w + alpha * (t(T) %*% (Y / (1 + exp(Y * (T %*% w)))))
+        }
+        w
+    "#;
+    let program = optimize(&parse(script).unwrap());
+
+    let mut env_f = Env::new();
+    env_f.bind("T", Value::Normalized(ds.tn.clone()));
+    bind_common(&mut env_f, &y, 0.01, ds.tn.cols());
+    let w_script = eval_program(&program, &mut env_f).unwrap();
+
+    let native = LogisticRegressionGd::new(0.01, 8).fit(&ds.tn, &y);
+    assert!(w_script.as_dense().unwrap().approx_eq(&native.w, 1e-9));
+}
+
+#[test]
+fn linear_regression_script_on_mn_join() {
+    let ds = MnJoinSpec {
+        n_s: 60,
+        n_r: 60,
+        d_s: 3,
+        d_r: 3,
+        n_u: 10,
+        seed: 3,
+    }
+    .generate();
+    let program = parse("ginv(crossprod(T)) %*% (t(T) %*% Y)").unwrap();
+    let mut env = Env::new();
+    env.bind("T", Value::Normalized(ds.tn.clone()));
+    env.bind("Y", Value::Dense(ds.y.clone()));
+    let w = eval_program(&program, &mut env).unwrap();
+    let tm = ds.tn.materialize().to_dense();
+    let resid = tm.matmul(w.as_dense().unwrap()).sub(&ds.y);
+    // Noiseless planted model ⇒ near-zero residual.
+    assert!(resid.frobenius_norm() / ds.y.frobenius_norm().max(1e-12) < 1e-5);
+}
+
+#[test]
+fn aggregation_script_matches_typed_api_on_real_dataset() {
+    let ds = morpheus::data::realsim::by_name("Flights")
+        .unwrap()
+        .generate(0.002, 5);
+    let program = parse("sum(rowSums(T)) - sum(colSums(T))").unwrap();
+    let mut env = Env::new();
+    env.bind("T", Value::Normalized(ds.tn.clone()));
+    let v = eval_program(&program, &mut env).unwrap();
+    assert!(v.as_scalar().unwrap().abs() < 1e-6 * ds.tn.sum().abs().max(1.0));
+}
+
+#[test]
+fn optimizer_preserves_script_semantics_on_matrices() {
+    let ds = PkFkSpec::from_ratios(4.0, 1.0, 20, 3, 7).generate();
+    let src = "sum(t(t(T)) * 1 + 0) + 2 ^ 3";
+    let plain = parse(src).unwrap();
+    let opt = optimize(&plain);
+    assert!(opt.expr_count() < plain.expr_count());
+    for program in [&plain, &opt] {
+        let mut env = Env::new();
+        env.bind("T", Value::Normalized(ds.tn.clone()));
+        let v = eval_program(program, &mut env)
+            .unwrap()
+            .as_scalar()
+            .unwrap();
+        let expected = ds.tn.sum() + 8.0;
+        assert!((v - expected).abs() < 1e-9 * expected.abs().max(1.0));
+    }
+}
+
+#[test]
+fn kmeans_script_runs_factorized_and_matches_materialized() {
+    // The paper's Algorithm 7/15 as a script: pairwise distances via
+    // rowSums(T^2), assignment via D == rowMin(D), centroid update via
+    // (t(T) %*% A) / (ones(d,1) %*% colSums(A)).
+    let ds = PkFkSpec::from_ratios(8.0, 2.0, 25, 3, 11).generate();
+    let n = ds.tn.rows();
+    let d = ds.tn.cols();
+    let k = 3usize;
+    let script = r#"
+        DT = rowSums(T ^ 2) %*% ones(1, k)
+        T2 = 2 * T
+        for (i in 1:6) {
+            D = DT + ones(n, 1) %*% colSums(C ^ 2) - T2 %*% C
+            A = D == rowMin(D) %*% ones(1, k)
+            C = (t(T) %*% A) / (ones(d, 1) %*% colSums(A))
+        }
+        C
+    "#;
+    let program = parse(script).unwrap();
+    // Deterministic non-degenerate initial centroids.
+    let c0 = DenseMatrix::from_fn(d, k, |i, j| ((i * 3 + j * 7) % 5) as f64 * 0.3 - 0.6);
+
+    let run = |t: morpheus::lang::Value| {
+        let mut env = Env::new();
+        env.bind("T", t);
+        env.bind("C", Value::Dense(c0.clone()));
+        env.bind("k", Value::Scalar(k as f64));
+        env.bind("n", Value::Scalar(n as f64));
+        env.bind("d", Value::Scalar(d as f64));
+        eval_program(&program, &mut env).unwrap()
+    };
+    let c_f = run(Value::Normalized(ds.tn.clone()));
+    let c_m = run(Value::Dense(ds.tn.materialize().to_dense()));
+    let cf = c_f.as_dense().unwrap();
+    assert_eq!(cf.shape(), (d, k));
+    assert!(cf.as_slice().iter().all(|v| v.is_finite()));
+    assert!(
+        cf.approx_eq(c_m.as_dense().unwrap(), 1e-8),
+        "factorized and materialized K-Means scripts diverged"
+    );
+}
+
+#[test]
+fn gnmf_script_runs_factorized_and_matches_native() {
+    // The paper's Algorithm 8/16 as a script: multiplicative updates with
+    // the transposed-LMM `t(T) %*% W` and the LMM `T %*% H`.
+    let ds = PkFkSpec::from_ratios(6.0, 1.0, 20, 3, 13).generate();
+    let tn = ds.tn.scalar_add(2.0); // NMF needs non-negative data
+    let (n, d, r) = (tn.rows(), tn.cols(), 2usize);
+    let script = r#"
+        for (i in 1:5) {
+            H = H * (t(T) %*% W) / (H %*% crossprod(W) + eps)
+            W = W * (T %*% H) / (W %*% crossprod(H) + eps)
+        }
+        W
+    "#;
+    let program = parse(script).unwrap();
+    let w0 = DenseMatrix::from_fn(n, r, |i, j| 0.5 + 0.1 * (((i + 2 * j) % 7) as f64));
+    let h0 = DenseMatrix::from_fn(d, r, |i, j| 0.5 + 0.1 * (((2 * i + j) % 5) as f64));
+
+    let run = |t: Value| {
+        let mut env = Env::new();
+        env.bind("T", t);
+        env.bind("W", Value::Dense(w0.clone()));
+        env.bind("H", Value::Dense(h0.clone()));
+        env.bind("eps", Value::Scalar(1e-12));
+        eval_program(&program, &mut env).unwrap()
+    };
+    let w_f = run(Value::Normalized(tn.clone()));
+    let w_m = run(Value::Dense(tn.materialize().to_dense()));
+    assert!(w_f
+        .as_dense()
+        .unwrap()
+        .approx_eq(w_m.as_dense().unwrap(), 1e-8));
+    // And against the native trainer with the same initialization.
+    let native = morpheus::ml::gnmf::Gnmf::new(r, 5).fit_from(&tn, &w0, &h0);
+    assert!(w_f.as_dense().unwrap().approx_eq(&native.w, 1e-8));
+}
+
+#[test]
+fn script_errors_surface_cleanly() {
+    // Parse error.
+    assert!(parse("w = (1 +").is_err());
+    // Undefined variable at eval time.
+    let p = parse("missing + 1").unwrap();
+    assert!(eval_program(&p, &mut Env::new()).is_err());
+    // Shape error on matmul.
+    let ds = PkFkSpec::from_ratios(2.0, 1.0, 10, 2, 9).generate();
+    let p2 = parse("T %*% T").unwrap();
+    let mut env = Env::new();
+    env.bind("T", Value::Normalized(ds.tn));
+    assert!(eval_program(&p2, &mut env).is_err());
+}

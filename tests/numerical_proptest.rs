@@ -1,0 +1,184 @@
+//! Property-based validation of the numerical substrate: factorizations
+//! must reconstruct their inputs and solvers must produce true solutions,
+//! over randomized well- and ill-conditioned matrices.
+
+use morpheus::dense::DenseMatrix;
+use morpheus::linalg::{
+    cholesky, eigen_sym, ginv, ginv_sym_psd, householder_qr, lstsq, lu_decompose, solve, solve_spd,
+    svd,
+};
+use proptest::prelude::*;
+
+/// Deterministic matrix from a seed; entries in [-1, 1].
+fn mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed | 1;
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lu_solves_square_systems(n in 1usize..8, seed in any::<u64>()) {
+        // Diagonally dominant ⇒ non-singular.
+        let mut a = mat(n, n, seed);
+        for i in 0..n {
+            let v = a.get(i, i) + n as f64 + 1.0;
+            a.set(i, i, v);
+        }
+        let x_true = mat(n, 1, seed ^ 0xABCD);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).expect("dominant matrix is non-singular");
+        prop_assert!(x.approx_eq(&x_true, 1e-7));
+        // Determinant is consistent with invertibility.
+        let lu = lu_decompose(&a).unwrap();
+        prop_assert!(lu.det().abs() > 0.0);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(n in 1usize..8, seed in any::<u64>()) {
+        let b = mat(n + 2, n, seed);
+        let mut a = b.crossprod();
+        a.add_assign(&DenseMatrix::identity(n)); // strictly PD
+        let l = cholesky(&a).expect("PD by construction");
+        prop_assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-8));
+        // And the SPD solver agrees with LU.
+        let rhs = mat(n, 1, seed ^ 0x1111);
+        let x1 = solve_spd(&a, &rhs).unwrap();
+        let x2 = solve(&a, &rhs).unwrap();
+        prop_assert!(x1.approx_eq(&x2, 1e-6));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_solves_least_squares(
+        m in 3usize..10,
+        n in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(m >= n);
+        let a = mat(m, n, seed);
+        let qr = householder_qr(&a).unwrap();
+        prop_assert!(qr.q.matmul(&qr.r).approx_eq(&a, 1e-8));
+        prop_assert!(qr
+            .q
+            .crossprod()
+            .approx_eq(&DenseMatrix::identity(n), 1e-8));
+        // Least squares via QR matches the normal equations when the Gram
+        // matrix is well-conditioned.
+        let mut gram = a.crossprod();
+        gram.add_assign(&DenseMatrix::identity(n).scalar_mul(1e-9));
+        let b = mat(m, 1, seed ^ 0x2222);
+        if let (Ok(x_qr), Ok(x_ne)) = (lstsq(&a, &b), solve(&gram, &a.t_matmul(&b))) {
+            prop_assert!(x_qr.approx_eq(&x_ne, 1e-4));
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_any_matrix(
+        m in 1usize..9,
+        n in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let a = mat(m, n, seed);
+        let s = svd(&a).unwrap();
+        prop_assert!(s.reconstruct().approx_eq(&a, 1e-8));
+        for w in s.singular.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(s.singular.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(n in 1usize..8, seed in any::<u64>()) {
+        let b = mat(n + 1, n, seed);
+        let a = b.crossprod(); // symmetric PSD
+        let e = eigen_sym(&a).unwrap();
+        let rec = e
+            .vectors
+            .scale_cols(&e.values)
+            .matmul_t(&e.vectors);
+        prop_assert!(rec.approx_eq(&a, 1e-7));
+        prop_assert!(e.values.iter().all(|&l| l > -1e-8));
+    }
+
+    #[test]
+    fn ginv_moore_penrose_on_random_and_rank_deficient(
+        m in 1usize..7,
+        n in 1usize..7,
+        seed in any::<u64>(),
+        duplicate_col in any::<bool>(),
+    ) {
+        let mut a = mat(m, n, seed);
+        if duplicate_col && n >= 2 {
+            // Force rank deficiency: copy column 0 into column n-1.
+            for i in 0..m {
+                let v = a.get(i, 0);
+                a.set(i, n - 1, v);
+            }
+        }
+        let p = ginv(&a);
+        prop_assert_eq!(p.shape(), (n, m));
+        prop_assert!(a.matmul(&p).matmul(&a).approx_eq(&a, 1e-6), "APA != A");
+        prop_assert!(p.matmul(&a).matmul(&p).approx_eq(&p, 1e-6), "PAP != P");
+        let ap = a.matmul(&p);
+        prop_assert!(ap.transpose().approx_eq(&ap, 1e-6));
+    }
+
+    #[test]
+    fn ginv_routes_agree_on_gram_matrices(n in 1usize..6, m in 1usize..8, seed in any::<u64>()) {
+        let a = mat(m.max(n), n, seed);
+        let g = a.crossprod();
+        let via_eig = ginv_sym_psd(&g);
+        let via_svd = ginv(&g);
+        // Both are the Moore–Penrose inverse; rank-deficient cases may
+        // differ near the cutoff, so compare through the defining property.
+        prop_assert!(g.matmul(&via_eig).matmul(&g).approx_eq(&g, 1e-6));
+        prop_assert!(g.matmul(&via_svd).matmul(&g).approx_eq(&g, 1e-6));
+    }
+
+    #[test]
+    fn dense_algebra_laws(m in 1usize..7, k in 1usize..7, n in 1usize..7, seed in any::<u64>()) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x3333);
+        // (AB)ᵀ = Bᵀ Aᵀ.
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+        // crossprod(A) = Aᵀ A.
+        prop_assert!(a.crossprod().approx_eq(&a.transpose().matmul(&a), 1e-10));
+        // rowSums/colSums/sum consistency.
+        prop_assert!((a.row_sums().sum() - a.sum()).abs() < 1e-9 * a.sum().abs().max(1.0));
+        prop_assert!((a.col_sums().sum() - a.sum()).abs() < 1e-9 * a.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn sparse_dense_kernels_agree(rows in 1usize..10, cols in 1usize..10, seed in any::<u64>()) {
+        use morpheus::sparse::CsrMatrix;
+        // Random ~30%-dense sparse matrix.
+        let mut state = seed | 1;
+        let dense = DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            if v.abs() < 0.7 { 0.0 } else { v }
+        });
+        let sp = CsrMatrix::from_dense(&dense);
+        prop_assert_eq!(sp.to_dense(), dense.clone());
+        let x = mat(cols, 2, seed ^ 0x4444);
+        prop_assert!(sp.spmm_dense(&x).approx_eq(&dense.matmul(&x), 1e-10));
+        let y = mat(rows, 2, seed ^ 0x5555);
+        prop_assert!(sp
+            .t_spmm_dense(&y)
+            .approx_eq(&dense.t_matmul(&y), 1e-10));
+        prop_assert!(sp.crossprod_dense().approx_eq(&dense.crossprod(), 1e-10));
+        prop_assert_eq!(sp.transpose().to_dense(), dense.transpose());
+        prop_assert!(sp.row_sums().approx_eq(&dense.row_sums(), 1e-12));
+        prop_assert!(sp.col_sums().approx_eq(&dense.col_sums(), 1e-12));
+    }
+}
