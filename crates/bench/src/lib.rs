@@ -16,8 +16,5 @@
 //! speedups scale with the tuple ratio, feature ratio, and join-attribute
 //! uniqueness degree, and where the slow-down region sits.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod experiments;
 pub mod timing;

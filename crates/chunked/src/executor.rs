@@ -4,7 +4,7 @@ use std::sync::mpsc;
 
 /// A thread-pool-free parallel executor over chunk indices.
 ///
-/// Work is distributed round-robin over `threads` crossbeam scoped threads;
+/// Work is distributed round-robin over `threads` scoped threads;
 /// results are collected in chunk order. With `threads == 1` everything
 /// runs on the caller thread (deterministic, no spawn overhead), which is
 /// also the fallback when only one chunk exists.
@@ -48,11 +48,11 @@ impl Executor {
             return (0..n).map(f).collect();
         }
         let (tx, rx) = mpsc::channel::<(usize, T)>();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for tid in 0..workers {
                 let tx = tx.clone();
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut i = tid;
                     while i < n {
                         // A send only fails if the receiver hung up, which
@@ -67,12 +67,14 @@ impl Executor {
             for (i, v) in rx {
                 slots[i] = Some(v);
             }
+            // If a worker panicked, its chunks never arrived and this
+            // expect fires; the scope then joins the remaining workers
+            // before the panic propagates.
             slots
                 .into_iter()
                 .map(|s| s.expect("executor: missing chunk result"))
                 .collect()
         })
-        .expect("executor: worker thread panicked")
     }
 
     /// Applies `f` to every index and reduces the results with `combine`,

@@ -21,9 +21,6 @@
 //! Both types implement [`LinearOperand`], so the `morpheus-ml` algorithms
 //! run on them unchanged — the closure property, demonstrated end-to-end.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod chunked_matrix;
 mod chunked_normalized;
 mod executor;

@@ -24,6 +24,9 @@
 //!   predicts when factorization would *slow things down* (§3.7, §5.1) and
 //!   falls back to materialized execution.
 //! * [`cost`] — the arithmetic-computation cost model of Table 3 / Table 11.
+//! * [`MorpheusError`] / [`Result`] — the workspace-wide unified error
+//!   layer: every crate's error converts in with `?`; crates above core
+//!   in the DAG (`lang`, `data`) convert via message-carrying variants.
 //!
 //! # Example: factorized vs. materialized are numerically identical
 //!
@@ -42,9 +45,6 @@
 //! assert!(factorized.approx_eq(&materialized, 1e-12));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod cost;
 mod decision;
 mod error;
@@ -53,7 +53,7 @@ mod normalized;
 mod ops_trait;
 
 pub use decision::{AdaptiveMatrix, DecisionRule};
-pub use error::{CoreError, CoreResult};
+pub use error::{CoreError, CoreResult, MorpheusError, Result};
 pub use matrix::Matrix;
 pub use normalized::{AttributePart, Indicator, JoinStats, NormalizedMatrix};
 pub use ops_trait::LinearOperand;

@@ -89,6 +89,15 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+impl From<CsvError> for morpheus_core::MorpheusError {
+    /// Carries the rendered message: `morpheus-data` sits above
+    /// `morpheus-core` in the crate DAG, so the unified error cannot hold
+    /// `CsvError` structurally without a dependency cycle.
+    fn from(e: CsvError) -> Self {
+        morpheus_core::MorpheusError::Data(e.to_string())
+    }
+}
+
 /// A parsed CSV table: header names plus a dense numeric matrix.
 #[derive(Debug, Clone)]
 pub struct CsvTable {

@@ -22,9 +22,6 @@
 //! experiments can run factorized ("F") and materialized ("M") from the
 //! same object.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod csv;
 pub mod realsim;
 pub mod synth;

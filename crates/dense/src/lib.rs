@@ -25,9 +25,6 @@
 //! assert_eq!(a.sum(), 10.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod agg;
 mod arith;
 mod error;

@@ -58,9 +58,6 @@
 //!     .approx_eq(w_materialized.as_dense().unwrap(), 1e-10));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod ast;
 mod eval;
 mod optimize;

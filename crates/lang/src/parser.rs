@@ -214,9 +214,13 @@ impl Parser {
                 self.expect(TokenKind::RParen, "')'")?;
                 Ok(inner)
             }
-            other => Err(LangError::Parse {
+            Some(other) => Err(LangError::Parse {
                 line,
                 msg: format!("unexpected token {other:?}"),
+            }),
+            None => Err(LangError::Parse {
+                line,
+                msg: "unexpected end of input".to_string(),
             }),
         }
     }

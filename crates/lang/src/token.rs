@@ -55,6 +55,15 @@ impl fmt::Display for LangError {
 
 impl std::error::Error for LangError {}
 
+impl From<LangError> for morpheus_core::MorpheusError {
+    /// Carries the rendered message: `morpheus-lang` sits above
+    /// `morpheus-core` in the crate DAG, so the unified error cannot hold
+    /// `LangError` structurally without a dependency cycle.
+    fn from(e: LangError) -> Self {
+        morpheus_core::MorpheusError::Lang(e.to_string())
+    }
+}
+
 /// A token with its source line (for error messages).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Token {

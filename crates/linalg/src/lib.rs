@@ -35,9 +35,6 @@
 //! assert!(t.matmul(&p).matmul(&t).approx_eq(&t, 1e-9));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod cholesky;
 mod eigen;
 mod error;

@@ -22,9 +22,6 @@
 //!   the Table 8 comparison baseline.
 //! * [`metrics`] — losses and quality metrics shared by tests and benches.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod gnmf;
 pub mod kmeans;
 pub mod linreg;

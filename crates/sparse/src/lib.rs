@@ -22,9 +22,6 @@
 //! assert_eq!(kr.row(2), &[3.3, 4.4]);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod agg;
 mod arith;
 mod convert;

@@ -1,0 +1,191 @@
+//! Offline, API-compatible stand-in for the subset of `criterion` used by
+//! the `morpheus-bench` benches: `criterion_group!`/`criterion_main!`,
+//! `Criterion::{default, sample_size, bench_function, benchmark_group}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and `black_box`.
+//!
+//! The build container cannot reach crates.io, so the real crate cannot be
+//! fetched. The shim runs each routine `sample_size` times around a
+//! monotonic clock and prints a `name ... median ns/iter` line — no
+//! statistics, plots, or outlier analysis. Swapping the real criterion
+//! back in is a one-line `Cargo.toml` change; the bench sources are
+//! unchanged.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How batched setup output is amortized (mirror of `criterion::BatchSize`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure
+/// (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    last_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.last_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.last_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.last_ns.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.last_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+
+    fn median_ns(&mut self) -> u128 {
+        if self.last_ns.is_empty() {
+            return 0;
+        }
+        self.last_ns.sort_unstable();
+        self.last_ns[self.last_ns.len() / 2]
+    }
+}
+
+/// Benchmark manager (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_ns: Vec::new(),
+        };
+        f(&mut b);
+        println!("bench {id:<48} {:>12} ns/iter (median)", b.median_ns());
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions
+/// (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = ::std::concat!("Runs the `", ::std::stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = ::std::default::Default::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate the bench `main` running each group
+/// (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}

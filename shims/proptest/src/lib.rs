@@ -1,0 +1,369 @@
+//! Offline, API-compatible stand-in for the subset of `proptest` this
+//! workspace uses: the `proptest!` macro, range/tuple/`any` strategies,
+//! `prop_map`, `ProptestConfig::with_cases`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! The build container cannot reach crates.io, so the real crate cannot be
+//! fetched. The shim keeps the property-test *sources* unchanged and runs
+//! each property over `cases` deterministically-seeded random inputs
+//! (seeded from the test's module path, so runs are reproducible). It does
+//! **not** implement shrinking — a failing case reports its inputs' seed
+//! index instead.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Re-exports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the string is the failure message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not be counted.
+    Reject,
+}
+
+/// Result type every `proptest!`-generated case body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derive a generator from a test identifier and case index.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        // splitmix64 finalizer.
+        let mut z = h.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        TestRng {
+            state: z ^ (z >> 31),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A generator of random values (mirror of `proptest::strategy::Strategy`).
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy just
+/// produces a value per case.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (mirror of `Strategy::prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Width and offset computed in the u64 domain so signed
+                // ranges wider than the type's positive half don't overflow.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, i64, i32);
+
+/// Types with a canonical "anything" strategy (mirror of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value of this type.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite, roughly unit-scale values; enough for numeric properties.
+        ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+}
+
+/// Strategy for any value of `T` (mirror of `proptest::prelude::any`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Build the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Fail the current case unless `cond` holds (mirror of `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the operands are equal
+/// (mirror of `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless `cond` holds (mirror of `prop_assume!`).
+/// Rejected cases are skipped, not counted as failures.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declare property tests (mirror of the `proptest!` macro).
+///
+/// Each `#[test] fn name(pat in strategy, ...) { body }` item becomes a
+/// regular `#[test]` that evaluates the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $(#[test] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::deterministic(
+                        ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::std::panic!("property failed at case {case}: {msg}")
+                        }
+                    }
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest!(@impl $cfg; $($rest)+);
+    };
+    // No tt catch-all here: the default-config arm re-states the full test
+    // grammar so malformed input fails with "no rules expected" instead of
+    // recursing to the macro expansion limit.
+    ($(#[test] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest!(
+            @impl $crate::ProptestConfig::default();
+            $(#[test] fn $name($($arg in $strat),+) $body)+
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1usize..10, 0u64..4), c in any::<u64>()) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b < 4);
+            let _ = c;
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!((2..10).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(n in 0usize..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::deterministic("x", 3);
+        let mut b = TestRng::deterministic("x", 3);
+        assert_eq!(
+            (0usize..100).generate(&mut a),
+            (0usize..100).generate(&mut b)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline, API-compatible stand-in for the small subset of the `rand`
+//! crate this workspace uses (`StdRng`, `SeedableRng`, `Rng::gen_range`).
+//!
+//! The build container has no network access to crates.io, so the real
+//! `rand` cannot be fetched. This shim keeps the public call sites
+//! source-compatible; swapping the real crate back in is a one-line
+//! `Cargo.toml` change. The generator is a fixed-increment PCG-XSH-RR
+//! variant (splitmix64-seeded), which is deterministic per seed — exactly
+//! the property the dataset generators and examples rely on.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (mirror of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random value generation (mirror of `rand::Rng`).
+pub trait Rng {
+    /// Produce the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly (mirror of `rand::distributions`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from `self` using `rng`.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Width and offset computed in the u64 domain so signed
+                // ranges wider than the type's positive half don't overflow.
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is fair game.
+                    return (lo as u64).wrapping_add(rng.next_u64()) as $t;
+                }
+                (lo as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators (mirror of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit PCG-style generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 warm-up so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            StdRng {
+                state: z ^ (z >> 31),
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* — tiny, full-period, plenty for test data.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+            let v = rng.gen_range(0usize..=3);
+            assert!(v <= 3);
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let w = rng.gen_range(1u64..5);
+            assert!((1..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn extreme_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Full-width inclusive range (span wraps to 0 in u64).
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        // Signed ranges wider than the type's positive half.
+        let v = rng.gen_range(i64::MIN..i64::MAX);
+        assert!(v < i64::MAX);
+        let w = rng.gen_range(i32::MIN..=i32::MAX);
+        let _ = w;
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

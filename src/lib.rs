@@ -43,10 +43,38 @@ pub use morpheus_ml as ml;
 pub use morpheus_sparse as sparse;
 
 /// Convenient single-line import of the most commonly used types.
+///
+/// Includes the workspace-wide unified error layer: [`MorpheusError`] and
+/// the [`MorpheusResult`] alias (re-exported from `morpheus_core::Result`
+/// under a collision-free name), into which every layer's error converts
+/// with `?`:
+///
+/// ```
+/// use morpheus::prelude::*;
+///
+/// fn pipeline(script: &str, data: Vec<f64>) -> MorpheusResult<Value> {
+///     let t = DenseMatrix::from_vec(2, 2, data)?; // DenseError -> MorpheusError
+///     let program = parse(script)?;               // LangError  -> MorpheusError
+///     let mut env = Env::new();
+///     env.bind("T", Value::Dense(t));
+///     Ok(eval_program(&program, &mut env)?)
+/// }
+///
+/// assert!(pipeline("sum(T)", vec![1., 2., 3., 4.]).is_ok());
+/// assert!(matches!(
+///     pipeline("sum(T)", vec![1., 2., 3.]),
+///     Err(MorpheusError::Dense(_))
+/// ));
+/// assert!(matches!(
+///     pipeline("sum(", vec![1., 2., 3., 4.]),
+///     Err(MorpheusError::Lang(_))
+/// ));
+/// ```
 pub mod prelude {
     pub use morpheus_chunked::ChunkedMatrix;
     pub use morpheus_core::{
-        AdaptiveMatrix, DecisionRule, LinearOperand, Matrix, NormalizedMatrix,
+        AdaptiveMatrix, DecisionRule, LinearOperand, Matrix, MorpheusError, NormalizedMatrix,
+        Result as MorpheusResult,
     };
     pub use morpheus_data::synth::{MnJoinSpec, PkFkSpec, StarSpec};
     pub use morpheus_dense::DenseMatrix;
