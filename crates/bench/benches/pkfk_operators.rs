@@ -7,7 +7,39 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use morpheus_core::LinearOperand;
 use morpheus_data::synth::PkFkSpec;
 use morpheus_dense::DenseMatrix;
+use morpheus_runtime::Executor;
 use std::hint::black_box;
+
+/// Head-to-head of the single-threaded seed kernels vs the band-parallel
+/// kernels on the full thread budget: GEMM and crossprod (the paper's
+/// dominant kernel) over the materialized high-redundancy table. On a
+/// machine with 4+ cores the `/par` rows should clearly beat `/1t`; both
+/// are recorded in `target/bench-baselines.json` by the criterion shim.
+fn bench_kernel_threads(c: &mut Criterion) {
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 500, 20, 42).generate();
+    let t = ds.tn.materialize().to_dense();
+    let x = DenseMatrix::from_fn(t.cols(), 16, |i, j| ((i * 3 + j) % 7) as f64 * 0.5 - 1.5);
+    let serial = Executor::serial();
+    let par = Executor::default(); // available_parallelism workers
+
+    let mut g = c.benchmark_group("pkfk/kernel-threads");
+    // Fixed ids (no thread count) so baseline keys are stable across
+    // machines; the worker count is printed alongside instead.
+    println!("pkfk/kernel-threads: par = {} worker(s)", par.threads());
+    g.bench_function("gemm/1t", |b| {
+        b.iter(|| black_box(t.matmul_with(&x, &serial)))
+    });
+    g.bench_function("gemm/par", |b| {
+        b.iter(|| black_box(t.matmul_with(&x, &par)))
+    });
+    g.bench_function("crossprod/1t", |b| {
+        b.iter(|| black_box(t.crossprod_with(&serial)))
+    });
+    g.bench_function("crossprod/par", |b| {
+        b.iter(|| black_box(t.crossprod_with(&par)))
+    });
+    g.finish();
+}
 
 fn bench_point(c: &mut Criterion, tag: &str, tr: f64, fr: f64) {
     let ds = PkFkSpec::from_ratios(tr, fr, 500, 20, 42).generate();
@@ -43,6 +75,7 @@ fn bench_point(c: &mut Criterion, tag: &str, tr: f64, fr: f64) {
 fn benches(c: &mut Criterion) {
     bench_point(c, "tr10-fr2", 10.0, 2.0);
     bench_point(c, "tr2-fr0.5", 2.0, 0.5);
+    bench_kernel_threads(c);
 }
 
 criterion_group! {

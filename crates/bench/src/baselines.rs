@@ -1,0 +1,145 @@
+//! Persistent bench baselines: parsing the flat JSON the criterion shim
+//! writes to `target/bench-baselines.json` and gating regressions against
+//! a committed snapshot (`crates/bench/baselines.json`).
+//!
+//! The gate is deliberately simple — medians only, a single relative
+//! threshold (default 25%, `MORPHEUS_BENCH_GATE_PCT` to override) — so it
+//! catches order-of-magnitude slips (a kernel silently going serial, an
+//! accidental quadratic path) rather than chasing machine noise.
+
+/// One `name -> median ns/iter` measurement.
+pub type Baseline = (String, u128);
+
+/// Parses the shim's flat `{"name": nanos, ...}` JSON (string keys,
+/// unsigned-integer values, no escapes). Malformed content yields an empty
+/// list rather than an error — a missing baseline is reported by the gate
+/// itself.
+///
+/// Deliberately independent of the criterion shim's own parser: the shim
+/// is slated to be swapped for the real crates.io `criterion` (which has
+/// no such helper), and the gate must keep reading the frozen on-disk
+/// format of the *committed* snapshot either way. The format is pinned by
+/// the round-trip tests below and `crates/bench/baselines.json` itself.
+pub fn parse_baselines(text: &str) -> Vec<Baseline> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<u128>() {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
+/// The outcome of comparing one measured median against its committed
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold (or faster).
+    Ok,
+    /// Slower than baseline by more than the threshold.
+    Regression {
+        /// Committed median in ns.
+        baseline_ns: u128,
+        /// Measured median in ns.
+        measured_ns: u128,
+    },
+    /// Present in the committed baseline but absent from the measured run.
+    Missing,
+}
+
+/// Compares `measured` against `committed`: for every committed entry,
+/// flag a [`Verdict::Regression`] when the measured median exceeds the
+/// baseline by more than `threshold_pct` percent, and [`Verdict::Missing`]
+/// when it was not measured at all. Names only the gate knows nothing
+/// about (new benches) are ignored — they become baselines when the
+/// snapshot is refreshed.
+pub fn gate(
+    committed: &[Baseline],
+    measured: &[Baseline],
+    threshold_pct: u32,
+) -> Vec<(String, Verdict)> {
+    committed
+        .iter()
+        .map(|(name, base)| {
+            let verdict = match measured.iter().find(|(m, _)| m == name) {
+                None => Verdict::Missing,
+                Some((_, got)) => {
+                    // got > base * (100 + pct) / 100, in integer math.
+                    if *got * 100 > *base * (100 + threshold_pct as u128) {
+                        Verdict::Regression {
+                            baseline_ns: *base,
+                            measured_ns: *got,
+                        }
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            };
+            (name.clone(), verdict)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_output() {
+        let text = "{\n  \"pkfk/a/lmm/F\": 120,\n  \"kernels/gemm\": 98765\n}\n";
+        assert_eq!(
+            parse_baselines(text),
+            vec![
+                ("pkfk/a/lmm/F".to_string(), 120),
+                ("kernels/gemm".to_string(), 98765)
+            ]
+        );
+        assert!(parse_baselines("").is_empty());
+        assert!(parse_baselines("{}").is_empty());
+    }
+
+    #[test]
+    fn gate_flags_regressions_only_beyond_threshold() {
+        let committed = vec![("a".to_string(), 1000u128), ("b".to_string(), 1000u128)];
+        let measured = vec![
+            ("a".to_string(), 1250u128), // exactly +25%: allowed
+            ("b".to_string(), 1251u128), // beyond: regression
+        ];
+        let verdicts = gate(&committed, &measured, 25);
+        assert_eq!(verdicts[0].1, Verdict::Ok);
+        assert_eq!(
+            verdicts[1].1,
+            Verdict::Regression {
+                baseline_ns: 1000,
+                measured_ns: 1251
+            }
+        );
+    }
+
+    #[test]
+    fn gate_reports_missing_and_ignores_new() {
+        let committed = vec![("old".to_string(), 10u128)];
+        let measured = vec![("brand-new".to_string(), 99u128)];
+        let verdicts = gate(&committed, &measured, 25);
+        assert_eq!(verdicts, vec![("old".to_string(), Verdict::Missing)]);
+    }
+
+    #[test]
+    fn gate_allows_speedups() {
+        let committed = vec![("fast".to_string(), 1000u128)];
+        let measured = vec![("fast".to_string(), 10u128)];
+        assert_eq!(gate(&committed, &measured, 25)[0].1, Verdict::Ok);
+    }
+}

@@ -1,0 +1,94 @@
+//! CI regression gate over the persistent bench baselines.
+//!
+//! Reads the medians the criterion shim persisted to
+//! `target/bench-baselines.json` (override with `MORPHEUS_BENCH_BASELINES`)
+//! and compares them against the committed snapshot
+//! `crates/bench/baselines.json`. Exits non-zero if any committed bench
+//! regressed by more than the threshold (default 25%,
+//! `MORPHEUS_BENCH_GATE_PCT` to override) or was not measured at all.
+//!
+//! Refresh the snapshot after an intentional perf change with:
+//! `rm -f target/bench-baselines.json && cargo bench --bench
+//! pkfk_operators && cp target/bench-baselines.json
+//! crates/bench/baselines.json`. The `rm` matters: the shim merges into
+//! the existing file, so a stale one may hold keys from other bench
+//! binaries that CI never re-measures — committing those would fail the
+//! gate forever as MISSING.
+
+use morpheus_bench::baselines::{gate, parse_baselines, Verdict};
+use std::path::PathBuf;
+
+fn measured_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MORPHEUS_BENCH_BASELINES") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench-baselines.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/bench-baselines.json");
+        }
+    }
+}
+
+fn main() {
+    let committed_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines.json");
+    let measured_path = measured_path();
+    let threshold: u32 = std::env::var("MORPHEUS_BENCH_GATE_PCT")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(25);
+
+    let committed = match std::fs::read_to_string(&committed_path) {
+        Ok(t) => parse_baselines(&t),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read committed baseline {committed_path:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let measured = match std::fs::read_to_string(&measured_path) {
+        Ok(t) => parse_baselines(&t),
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read measured baselines {measured_path:?}: {e}\n\
+                 run `cargo bench` first so the criterion shim persists medians"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    for (name, verdict) in gate(&committed, &measured, threshold) {
+        match verdict {
+            Verdict::Ok => {}
+            Verdict::Missing => {
+                failures += 1;
+                println!("MISSING    {name} (committed but not measured)");
+            }
+            Verdict::Regression {
+                baseline_ns,
+                measured_ns,
+            } => {
+                failures += 1;
+                let pct = (measured_ns as f64 / baseline_ns as f64 - 1.0) * 100.0;
+                println!(
+                    "REGRESSION {name}: {baseline_ns} ns -> {measured_ns} ns (+{pct:.1}%, \
+                     threshold {threshold}%)"
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} failure(s) against {} committed baseline(s)",
+            committed.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_gate: {} baseline(s) within {threshold}% of committed medians",
+        committed.len()
+    );
+}

@@ -16,5 +16,6 @@
 //! speedups scale with the tuple ratio, feature ratio, and join-attribute
 //! uniqueness degree, and where the slow-down region sits.
 
+pub mod baselines;
 pub mod experiments;
 pub mod timing;

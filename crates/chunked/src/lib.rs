@@ -10,8 +10,8 @@
 //!
 //! * [`ChunkedMatrix`] — a regular matrix stored as row chunks; every
 //!   [`LinearOperand`] operator is evaluated chunk-at-a-time, in parallel
-//!   across worker threads (crossbeam scoped threads — the `ore.rowapply`
-//!   analog).
+//!   across worker threads (the shared `morpheus-runtime` scoped-thread
+//!   executor — the `ore.rowapply` analog).
 //! * [`ChunkedNormalizedMatrix`] — a normalized matrix whose *logical rows*
 //!   are chunked while the attribute tables stay shared, exactly how
 //!   Morpheus-on-ORE partitions the entity table but keeps the (small)
@@ -20,13 +20,18 @@
 //!
 //! Both types implement [`LinearOperand`], so the `morpheus-ml` algorithms
 //! run on them unchanged — the closure property, demonstrated end-to-end.
+//!
+//! The executor itself lives in `morpheus-runtime` (re-exported here for
+//! compatibility): chunk-level parallelism claims workers from the shared
+//! budget, so the parallel dense/sparse kernels running *inside* each
+//! chunk see only the remaining threads and the two levels compose
+//! without oversubscription.
 
 mod chunked_matrix;
 mod chunked_normalized;
-mod executor;
 
 pub use chunked_matrix::ChunkedMatrix;
 pub use chunked_normalized::ChunkedNormalizedMatrix;
-pub use executor::Executor;
+pub use morpheus_runtime::Executor;
 
 pub(crate) use morpheus_core::LinearOperand;

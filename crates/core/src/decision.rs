@@ -51,7 +51,11 @@ impl DecisionRule {
 /// factorized when predicted profitable, materialized otherwise.
 ///
 /// Implements [`LinearOperand`], so ML algorithms are oblivious to which
-/// path was chosen.
+/// path was chosen. Both paths draw their workers from the shared
+/// `morpheus_runtime::Runtime` thread budget — the factorized rewrites
+/// parallelize across parts and inside the dense/sparse kernels, the
+/// materialized path inside the kernels directly — so the §3.7 crossover
+/// the rule models is measured against an equally parallel baseline.
 #[derive(Debug, Clone)]
 pub enum AdaptiveMatrix {
     /// The rule predicted a factorization win; operate on the normalized

@@ -24,6 +24,7 @@
 use super::{Indicator, NormalizedMatrix};
 use crate::Matrix;
 use morpheus_dense::DenseMatrix;
+use morpheus_runtime::Runtime;
 
 /// `aᵀ b` across all four representation pairings, returned dense.
 fn t_cross(a: &Matrix, b: &Matrix) -> DenseMatrix {
@@ -67,14 +68,26 @@ impl NormalizedMatrix {
     fn crossprod_raw(&self, naive: bool) -> DenseMatrix {
         let d = self.d_total();
         let offsets = self.col_offsets();
+        // Every block of the upper triangle — diagonal blocks
+        // cp(Iᵢ Bᵢ) and off-diagonal blocks Bᵢᵀ (Iᵢᵀ Iⱼ) Bⱼ, j > i — is an
+        // independent product; compute them in parallel on the shared
+        // runtime (the kernels inside see the remaining thread budget) and
+        // assemble in deterministic block order afterwards.
+        let q = self.parts.len();
+        let jobs: Vec<(usize, usize)> = (0..q).flat_map(|i| (i..q).map(move |j| (i, j))).collect();
+        let blocks = Runtime::executor().map(jobs.len(), |idx| {
+            let (i, j) = jobs[idx];
+            if i == j {
+                self.diag_block(&self.parts[i], naive)
+            } else {
+                self.cross_block(&self.parts[i], &self.parts[j])
+            }
+        });
         let mut out = DenseMatrix::zeros(d, d);
-        for (i, pi) in self.parts.iter().enumerate() {
-            // Diagonal block cp(Iᵢ Bᵢ).
-            let diag = self.diag_block(pi, naive);
-            out.set_block(offsets[i], offsets[i], &diag);
-            // Off-diagonal blocks Bᵢᵀ (Iᵢᵀ Iⱼ) Bⱼ, j > i.
-            for (j, pj) in self.parts.iter().enumerate().skip(i + 1) {
-                let block = self.cross_block(pi, pj);
+        for ((i, j), block) in jobs.into_iter().zip(blocks) {
+            if i == j {
+                out.set_block(offsets[i], offsets[i], &block);
+            } else {
                 out.set_block(offsets[j], offsets[i], &block.transpose());
                 out.set_block(offsets[i], offsets[j], &block);
             }
@@ -133,6 +146,11 @@ impl NormalizedMatrix {
         // Σᵢ Iᵢ (BᵢBᵢᵀ) Iᵢᵀ — horizontal blocks contribute independently
         // (appendix A/D: crossprod(Tᵀ) → Σᵢ Iᵢ crossprod(Bᵢᵀ) Iᵢᵀ).
         let n = self.n_rows;
+        // Contributions are n x n each, so they stream one at a time into
+        // the accumulator (bounded memory: two n x n matrices, like the
+        // serial rewrite) rather than materializing all parts at once.
+        // Parallelism comes from the band-parallel kernels inside
+        // tcrossprod / spmm_dense, which see the full runtime budget here.
         let mut out = DenseMatrix::zeros(n, n);
         for pi in &self.parts {
             let g = pi.table.tcrossprod();

@@ -18,6 +18,7 @@
 
 use super::{Indicator, NormalizedMatrix};
 use crate::Matrix;
+use morpheus_runtime::Runtime;
 use morpheus_sparse::CsrMatrix;
 
 /// Splits a two-part PK-FK normalized matrix into `(S, K, R)` views.
@@ -86,12 +87,18 @@ impl NormalizedMatrix {
         let kb1 = kb.slice_rows(0..dsa);
         let kb2 = kb.slice_rows(dsa..kb.rows());
 
-        // Left block: S_A S_B1 + K_A (R_A S_B2).
-        let left = sa.matmul(&sb1).add(&ka_ind.apply_m(&ra.matmul(&sb2)));
-        // Right block: (S_A K_B1) R_B + K_A ((R_A K_B2) R_B).
-        let right_a = sa.matmul(&Matrix::Sparse(kb1)).matmul(rb);
-        let right_b = ka_ind.apply_m(&ra.matmul(&Matrix::Sparse(kb2)).matmul(rb));
-        let right = right_a.add(&right_b);
+        // The left and right blocks are independent; compute them
+        // concurrently on the shared runtime.
+        let (left, right) = Runtime::executor().par_join(
+            // Left block: S_A S_B1 + K_A (R_A S_B2).
+            || sa.matmul(&sb1).add(&ka_ind.apply_m(&ra.matmul(&sb2))),
+            // Right block: (S_A K_B1) R_B + K_A ((R_A K_B2) R_B).
+            || {
+                let right_a = sa.matmul(&Matrix::Sparse(kb1)).matmul(rb);
+                let right_b = ka_ind.apply_m(&ra.matmul(&Matrix::Sparse(kb2)).matmul(rb));
+                right_a.add(&right_b)
+            },
+        );
         Matrix::hstack_all(&[&left, &right])
     }
 
@@ -143,10 +150,22 @@ impl NormalizedMatrix {
         let kb_m = Matrix::Sparse(kb.clone());
         let ka_tm = Matrix::Sparse(ka_t);
 
-        let tl = sa.transpose().matmul(sb); // S_Aᵀ S_B
-        let tr = sa.transpose().matmul(&kb_m).matmul(rb); // (S_Aᵀ K_B) R_B
-        let bl = ra.transpose().matmul(&ka_tm.matmul(sb)); // R_Aᵀ (K_Aᵀ S_B)
-        let br = ra.transpose().matmul(&p.matmul(rb)); // R_Aᵀ P R_B
+        // The four blocks are independent: nested par_join claims the
+        // workers pairwise, and the kernels inside see the remainder.
+        let ((tl, tr), (bl, br)) = Runtime::executor().par_join(
+            || {
+                Runtime::executor().par_join(
+                    || sa.transpose().matmul(sb),               // S_Aᵀ S_B
+                    || sa.transpose().matmul(&kb_m).matmul(rb), // (S_Aᵀ K_B) R_B
+                )
+            },
+            || {
+                Runtime::executor().par_join(
+                    || ra.transpose().matmul(&ka_tm.matmul(sb)), // R_Aᵀ (K_Aᵀ S_B)
+                    || ra.transpose().matmul(&p.matmul(rb)),     // R_Aᵀ P R_B
+                )
+            },
+        );
         let top = Matrix::hstack_all(&[&tl, &tr]);
         let bottom = Matrix::hstack_all(&[&bl, &br]);
         match (top, bottom) {

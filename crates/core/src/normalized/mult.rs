@@ -15,9 +15,17 @@
 //!
 //! Transposed forms (appendix A): `Tᵀ X → (Xᵀ T)ᵀ` and `X Tᵀ → (T Xᵀ)ᵀ`,
 //! which dispatch back onto the untransposed rewrites.
+//!
+//! Parallelism is two-level: the per-part products run concurrently on the
+//! shared [`Runtime`] executor (each part's `Bᵢ Xᵢ` is independent), while
+//! the dense/sparse kernels inside each product see the *remaining* thread
+//! budget — the executor's claim bookkeeping prevents oversubscription.
+//! Partials are always combined in part order, so results are identical to
+//! the sequential rewrite.
 
 use super::NormalizedMatrix;
 use morpheus_dense::DenseMatrix;
+use morpheus_runtime::Runtime;
 
 impl NormalizedMatrix {
     /// Left matrix multiplication `T X` (`X` is `cols() x m` dense).
@@ -102,41 +110,42 @@ impl NormalizedMatrix {
 
     pub(crate) fn lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
         let offsets = self.col_offsets();
-        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
-        for (p, w) in self.parts.iter().zip(offsets.windows(2)) {
+        // The good order: Bᵢ Xᵢ first (small), then the indicator as a
+        // fused gather-add — no intermediate n x m matrix. The per-part
+        // products are independent and run in parallel; the gather-adds
+        // stay in part order so the accumulation is deterministic.
+        let partials = Runtime::executor().map(self.parts.len(), |i| {
+            let w = &offsets[i..=i + 1];
             let xi = x.slice_rows(w[0]..w[1]);
-            // The good order: Bᵢ Xᵢ first (small), then the indicator as a
-            // fused gather-add — no intermediate n x m matrix.
-            let partial = p.table.matmul_dense(&xi);
-            p.indicator.apply_add_into(&partial, &mut acc);
+            self.parts[i].table.matmul_dense(&xi)
+        });
+        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
+        for (p, partial) in self.parts.iter().zip(&partials) {
+            p.indicator.apply_add_into(partial, &mut acc);
         }
         acc
     }
 
     pub(crate) fn t_lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
-        // Tᵀ X = [B₀ᵀ(I₀ᵀX); …; B_qᵀ(I_qᵀX)] stacked vertically.
-        let blocks: Vec<DenseMatrix> = self
-            .parts
-            .iter()
-            .map(|p| {
-                let pulled = p.indicator.apply_t(x);
-                p.table.t_matmul_dense(&pulled)
-            })
-            .collect();
+        // Tᵀ X = [B₀ᵀ(I₀ᵀX); …; B_qᵀ(I_qᵀX)] stacked vertically; each
+        // block is independent.
+        let blocks = Runtime::executor().map(self.parts.len(), |i| {
+            let p = &self.parts[i];
+            let pulled = p.indicator.apply_t(x);
+            p.table.t_matmul_dense(&pulled)
+        });
         let refs: Vec<&DenseMatrix> = blocks.iter().collect();
         DenseMatrix::vstack_all(&refs)
     }
 
     pub(crate) fn rmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
-        // X T = [(X I₀)B₀, …, (X I_q)B_q] stacked horizontally.
-        let blocks: Vec<DenseMatrix> = self
-            .parts
-            .iter()
-            .map(|p| {
-                let pushed = p.indicator.right_apply(x);
-                p.table.dense_matmul(&pushed)
-            })
-            .collect();
+        // X T = [(X I₀)B₀, …, (X I_q)B_q] stacked horizontally; each block
+        // is independent.
+        let blocks = Runtime::executor().map(self.parts.len(), |i| {
+            let p = &self.parts[i];
+            let pushed = p.indicator.right_apply(x);
+            p.table.dense_matmul(&pushed)
+        });
         let refs: Vec<&DenseMatrix> = blocks.iter().collect();
         DenseMatrix::hstack_all(&refs)
     }

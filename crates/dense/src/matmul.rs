@@ -1,10 +1,68 @@
 //! Matrix multiplication, transpose, and the symmetric cross-product.
 //!
-//! The GEMM kernel uses the classic i-k-j loop order so that the innermost
-//! loop walks both the output row and the `other` row contiguously — this is
-//! the cache-friendly, auto-vectorizable ordering for row-major storage.
+//! The GEMM kernel keeps the classic i-k-j loop order so that the innermost
+//! loop walks both the output row and the `other` row contiguously — the
+//! cache-friendly, auto-vectorizable ordering for row-major storage — and
+//! adds two layers on top:
+//!
+//! * **k-blocking**: the `other` panel touched by the inner loop is limited
+//!   to [`KC`] rows so it stays cache-resident while a band of output rows
+//!   streams over it.
+//! * **row-band parallelism**: output rows are split into bands executed on
+//!   the shared [`morpheus_runtime`] executor. Each output element is still
+//!   accumulated by exactly one worker in the exact serial k-order, so the
+//!   parallel kernels agree with the single-threaded path **bit for bit**
+//!   (and `Executor::new(1)` reproduces the pre-parallel results exactly).
+//!
+//! Every hot kernel has a `*_with(&Executor)` variant for per-call thread
+//! control; the plain methods draw workers from [`Runtime::executor`], which
+//! already accounts for threads claimed by enclosing parallel sections
+//! (e.g. the chunked backend), so the two levels compose without
+//! oversubscription.
 
 use crate::DenseMatrix;
+use morpheus_runtime::{Executor, Runtime};
+
+/// k-block size of the GEMM kernel: the `other` panel revisited by a band
+/// of output rows is at most `KC x n` elements.
+const KC: usize = 256;
+
+/// Flop count below which kernels run inline: scoped-thread spawns cost a
+/// few microseconds, so tiny products are faster single-threaded.
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Caps `ex` to one worker when the kernel has too little work to amortize
+/// thread spawns. Scheduling only — results are identical either way.
+fn effective(ex: &Executor, flops: usize) -> Executor {
+    if flops < PAR_FLOP_THRESHOLD {
+        Executor::serial()
+    } else {
+        *ex
+    }
+}
+
+/// The serial band kernel: accumulates `out_band = A[i0..i0+rows, :] * B`
+/// with k-blocking. Per output element the k-order is strictly increasing,
+/// matching the unblocked i-k-j kernel exactly.
+fn gemm_band(a: &[f64], b: &[f64], out_band: &mut [f64], i0: usize, k: usize, n: usize) {
+    let rows = out_band.len() / n;
+    for kb in (0..k).step_by(KC) {
+        let kend = (kb + KC).min(k);
+        for r in 0..rows {
+            let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
+            let orow = &mut out_band[r * n..(r + 1) * n];
+            for (kk, &av) in arow[kb..kend].iter().enumerate() {
+                if av == 0.0 {
+                    continue; // cheap sparsity win; exact-zero skip is safe
+                }
+                let brow = &b[(kb + kk) * n..(kb + kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
 
 impl DenseMatrix {
     /// Matrix-matrix product `self * other`.
@@ -12,6 +70,14 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.matmul_with(other, &Runtime::executor())
+    }
+
+    /// [`DenseMatrix::matmul`] with an explicit executor.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_with(&self, other: &DenseMatrix, ex: &Executor) -> DenseMatrix {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -21,29 +87,25 @@ impl DenseMatrix {
             other.rows(),
             other.cols()
         );
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = other.cols();
         if n == 1 {
             // Matrix-vector products degrade the ikj kernel to length-1
             // inner loops; route through the contiguous dot-product kernel
             // (this is the hot path of every GLM iteration).
-            return DenseMatrix::col_vector(&self.matvec(other.as_slice()));
+            return DenseMatrix::col_vector(&self.matvec_with(other.as_slice(), ex));
         }
         let mut out = DenseMatrix::zeros(m, n);
-        let b = other.as_slice();
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // cheap sparsity win; exact-zero skip is safe
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += a * bv;
-                }
-            }
+        if m == 0 || n == 0 || k == 0 {
+            return out;
         }
+        let ex = effective(ex, m * k * n);
+        let band = ex.grain(m);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
+            gemm_band(a, b, chunk, bi * band, k, n);
+        });
         out
     }
 
@@ -52,6 +114,15 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_with(x, &Runtime::executor())
+    }
+
+    /// [`DenseMatrix::matvec`] with an explicit executor; output rows are
+    /// independent dot products, parallelized over row bands.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec_with(&self, x: &[f64], ex: &Executor) -> Vec<f64> {
         assert_eq!(
             x.len(),
             self.cols(),
@@ -59,9 +130,22 @@ impl DenseMatrix {
             x.len(),
             self.cols()
         );
-        self.row_iter()
-            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect()
+        let (m, k) = self.shape();
+        let mut out = vec![0.0; m];
+        if m == 0 {
+            return out;
+        }
+        let ex = effective(ex, m * k);
+        let band = ex.grain(m);
+        let a = self.as_slice();
+        ex.par_chunks_mut(&mut out, band, |bi, chunk| {
+            let i0 = bi * band;
+            for (r, o) in chunk.iter_mut().enumerate() {
+                let row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                *o = row.iter().zip(x).map(|(&av, &bv)| av * bv).sum();
+            }
+        });
+        out
     }
 
     /// Vector-matrix product `x^T * self`, returning a row vector.
@@ -69,6 +153,16 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `x.len() != self.rows()`.
     pub fn vecmat(&self, x: &[f64]) -> Vec<f64> {
+        self.vecmat_with(x, &Runtime::executor())
+    }
+
+    /// [`DenseMatrix::vecmat`] with an explicit executor; the output is
+    /// parallelized over column bands so each band accumulates the input
+    /// rows in serial order (bit-identical to one thread).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat_with(&self, x: &[f64], ex: &Executor) -> Vec<f64> {
         assert_eq!(
             x.len(),
             self.rows(),
@@ -76,16 +170,27 @@ impl DenseMatrix {
             x.len(),
             self.rows()
         );
-        let n = self.cols();
+        let (m, n) = self.shape();
         let mut out = vec![0.0; n];
-        for (i, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += xv * a;
-            }
+        if n == 0 {
+            return out;
         }
+        let ex = effective(ex, m * n);
+        let band = ex.grain(n);
+        let a = self.as_slice();
+        ex.par_chunks_mut(&mut out, band, |bi, chunk| {
+            let j0 = bi * band;
+            let w = chunk.len();
+            for (i, &xv) in x.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let row = &a[i * n + j0..i * n + j0 + w];
+                for (o, &av) in chunk.iter_mut().zip(row) {
+                    *o += xv * av;
+                }
+            }
+        });
         out
     }
 
@@ -114,27 +219,48 @@ impl DenseMatrix {
     /// then mirrored, saving roughly half the arithmetic — exactly the saving
     /// the paper's "efficient" rewrite (Algorithm 2) relies on.
     pub fn crossprod(&self) -> DenseMatrix {
-        let (_, d) = self.shape();
+        self.crossprod_with(&Runtime::executor())
+    }
+
+    /// [`DenseMatrix::crossprod`] with an explicit executor.
+    ///
+    /// Workers own disjoint bands of output rows and each streams over the
+    /// whole input, so every upper-triangle element accumulates the input
+    /// rows in serial order regardless of the worker count. Band
+    /// round-robin balances the triangular row costs.
+    pub fn crossprod_with(&self, ex: &Executor) -> DenseMatrix {
+        let (n, d) = self.shape();
         let mut out = DenseMatrix::zeros(d, d);
-        {
-            let o = out.as_mut_slice();
-            for row in self.row_iter() {
-                for (i, &xi) in row.iter().enumerate() {
+        if d == 0 || n == 0 {
+            return out;
+        }
+        let ex = effective(ex, n * d * (d + 1) / 2);
+        let band = ex.grain(d);
+        let a = self.as_slice();
+        ex.par_chunks_mut(out.as_mut_slice(), band * d, |bi, chunk| {
+            let i0 = bi * band;
+            let rows_in_band = chunk.len() / d;
+            for r in 0..n {
+                let row = &a[r * d..(r + 1) * d];
+                for li in 0..rows_in_band {
+                    let i = i0 + li;
+                    let xi = row[i];
                     if xi == 0.0 {
                         continue;
                     }
                     // Contiguous upper-triangle tail: vectorizable, and
                     // does exactly half the arithmetic of a full product.
-                    let orow = &mut o[i * d + i..(i + 1) * d];
+                    let orow = &mut chunk[li * d + i..(li + 1) * d];
                     for (ov, &xj) in orow.iter_mut().zip(&row[i..]) {
                         *ov += xi * xj;
                     }
                 }
             }
-            for i in 0..d {
-                for j in (i + 1)..d {
-                    o[j * d + i] = o[i * d + j];
-                }
+        });
+        let o = out.as_mut_slice();
+        for i in 0..d {
+            for j in (i + 1)..d {
+                o[j * d + i] = o[i * d + j];
             }
         }
         out
@@ -143,14 +269,35 @@ impl DenseMatrix {
     /// The outer cross-product `tcrossprod(T) = T * T^t` (Gram matrix of the
     /// rows), exploiting symmetry.
     pub fn tcrossprod(&self) -> DenseMatrix {
-        let n = self.rows();
+        self.tcrossprod_with(&Runtime::executor())
+    }
+
+    /// [`DenseMatrix::tcrossprod`] with an explicit executor; upper-triangle
+    /// rows are computed in parallel bands, then mirrored.
+    pub fn tcrossprod_with(&self, ex: &Executor) -> DenseMatrix {
+        let (n, d) = self.shape();
         let mut out = DenseMatrix::zeros(n, n);
+        if n == 0 {
+            return out;
+        }
+        let ex = effective(ex, n * (n + 1) / 2 * d.max(1));
+        let band = ex.grain(n);
+        let a = self.as_slice();
+        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
+            let i0 = bi * band;
+            for (li, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = i0 + li;
+                let ri = &a[i * d..(i + 1) * d];
+                for (j, ov) in orow.iter_mut().enumerate().skip(i) {
+                    let rj = &a[j * d..(j + 1) * d];
+                    *ov = ri.iter().zip(rj).map(|(&x, &y)| x * y).sum();
+                }
+            }
+        });
+        let o = out.as_mut_slice();
         for i in 0..n {
-            let ri = self.row(i);
-            for j in i..n {
-                let v: f64 = ri.iter().zip(self.row(j)).map(|(&a, &b)| a * b).sum();
-                out.set(i, j, v);
-                out.set(j, i, v);
+            for j in (i + 1)..n {
+                o[j * n + i] = o[i * n + j];
             }
         }
         out
@@ -161,6 +308,19 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `self.rows() != other.rows()`.
     pub fn t_matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.t_matmul_with(other, &Runtime::executor())
+    }
+
+    /// [`DenseMatrix::t_matmul`] with an explicit executor.
+    ///
+    /// This kernel scatters input rows into the output, so workers own
+    /// disjoint bands of output rows and each scans the full input,
+    /// accumulating only its own band — input-row order per element is
+    /// preserved, keeping parallel results bit-identical to serial.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn t_matmul_with(&self, other: &DenseMatrix, ex: &Executor) -> DenseMatrix {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -171,34 +331,51 @@ impl DenseMatrix {
         let (n, d) = self.shape();
         let p = other.cols();
         let mut out = DenseMatrix::zeros(d, p);
-        let o = out.as_mut_slice();
-        if p == 1 {
-            // Tᵀ x for a vector x: accumulate x[i] * row(i) with a
-            // contiguous inner loop instead of length-1 scatters.
-            let xs = other.as_slice();
-            for (i, &xv) in xs.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                for (ov, &a) in o.iter_mut().zip(self.row(i)) {
-                    *ov += xv * a;
-                }
-            }
+        if d == 0 || p == 0 || n == 0 {
             return out;
         }
-        for i in 0..n {
-            let arow = self.row(i);
-            let brow = other.row(i);
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let ex = effective(ex, n * d * p);
+        let a = self.as_slice();
+        if p == 1 {
+            // Tᵀ x for a vector x: accumulate x[i] * row(i) with a
+            // contiguous inner loop instead of length-1 scatters; bands
+            // split the output entries.
+            let xs = other.as_slice();
+            let band = ex.grain(d);
+            ex.par_chunks_mut(out.as_mut_slice(), band, |bi, chunk| {
+                let k0 = bi * band;
+                let w = chunk.len();
+                for (i, &xv) in xs.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let arow = &a[i * d + k0..i * d + k0 + w];
+                    for (ov, &av) in chunk.iter_mut().zip(arow) {
+                        *ov += xv * av;
+                    }
                 }
-                let orow = &mut o[k * p..(k + 1) * p];
-                for (ov, &b) in orow.iter_mut().zip(brow) {
-                    *ov += a * b;
+            });
+            return out;
+        }
+        let b = other.as_slice();
+        let band = ex.grain(d);
+        ex.par_chunks_mut(out.as_mut_slice(), band * p, |bi, chunk| {
+            let k0 = bi * band;
+            let rows_in_band = chunk.len() / p;
+            for i in 0..n {
+                let arow = &a[i * d + k0..i * d + k0 + rows_in_band];
+                let brow = &b[i * p..(i + 1) * p];
+                for (lk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[lk * p..(lk + 1) * p];
+                    for (ov, &bv) in orow.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -207,6 +384,15 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_t(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.matmul_t_with(other, &Runtime::executor())
+    }
+
+    /// [`DenseMatrix::matmul_t`] with an explicit executor; output rows are
+    /// independent, parallelized over row bands.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_t_with(&self, other: &DenseMatrix, ex: &Executor) -> DenseMatrix {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -214,20 +400,26 @@ impl DenseMatrix {
             self.cols(),
             other.cols()
         );
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = other.rows();
         let mut out = DenseMatrix::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, ov) in orow.iter_mut().enumerate() {
-                *ov = arow
-                    .iter()
-                    .zip(other.row(j))
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f64>();
-            }
+        if m == 0 || n == 0 {
+            return out;
         }
+        let ex = effective(ex, m * n * k.max(1));
+        let band = ex.grain(m);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
+            let i0 = bi * band;
+            for (li, orow) in chunk.chunks_mut(n).enumerate() {
+                let arow = &a[(i0 + li) * k..(i0 + li + 1) * k];
+                for (j, ov) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    *ov = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum::<f64>();
+                }
+            }
+        });
         out
     }
 }
@@ -242,6 +434,16 @@ mod tests {
 
     fn b() -> DenseMatrix {
         DenseMatrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]])
+    }
+
+    fn big(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed | 1;
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
     }
 
     #[test]
@@ -306,6 +508,51 @@ mod tests {
         assert!(x.t_matmul(&y).approx_eq(&x.transpose().matmul(&y), 1e-12));
         let z = DenseMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0]]);
         assert!(x.matmul_t(&z).approx_eq(&x.matmul(&z.transpose()), 1e-12));
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        // Larger than any band/parallel threshold games: exercise the
+        // banded paths directly with explicit executors.
+        let m = big(71, 23, 7);
+        let x = big(23, 9, 11);
+        let v: Vec<f64> = (0..23).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let w: Vec<f64> = (0..71).map(|i| ((i * 13) % 7) as f64 - 2.0).collect();
+        let y = big(71, 9, 13);
+        let z = big(44, 23, 17);
+        let serial = Executor::serial();
+        for threads in [2, 3, 8] {
+            let par = Executor::new(threads);
+            assert_eq!(m.matmul_with(&x, &par), m.matmul_with(&x, &serial));
+            assert_eq!(m.matvec_with(&v, &par), m.matvec_with(&v, &serial));
+            assert_eq!(m.vecmat_with(&w, &par), m.vecmat_with(&w, &serial));
+            assert_eq!(m.crossprod_with(&par), m.crossprod_with(&serial));
+            assert_eq!(m.tcrossprod_with(&par), m.tcrossprod_with(&serial));
+            assert_eq!(m.t_matmul_with(&y, &par), m.t_matmul_with(&y, &serial));
+            assert_eq!(m.matmul_t_with(&z, &par), m.matmul_t_with(&z, &serial));
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_unblocked_across_k() {
+        // k spans multiple KC blocks; blocking must not change results.
+        let m = big(5, 2 * super::KC + 37, 3);
+        let x = big(2 * super::KC + 37, 4, 5);
+        let naive = DenseMatrix::from_fn(5, 4, |i, j| {
+            (0..m.cols()).map(|k| m.get(i, k) * x.get(k, j)).sum()
+        });
+        assert!(m.matmul(&x).approx_eq(&naive, 1e-10));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        let e = DenseMatrix::zeros(0, 3);
+        assert_eq!(e.crossprod().shape(), (3, 3));
+        assert_eq!(e.tcrossprod().shape(), (0, 0));
+        let w = DenseMatrix::zeros(4, 0);
+        assert_eq!(w.crossprod().shape(), (0, 0));
+        assert_eq!(w.matmul(&DenseMatrix::zeros(0, 2)).shape(), (4, 2));
+        assert_eq!(w.t_matmul(&DenseMatrix::zeros(4, 2)).shape(), (0, 2));
     }
 
     #[test]

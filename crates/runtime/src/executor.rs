@@ -1,0 +1,407 @@
+//! The scoped-thread parallel executor shared by every compute layer.
+
+use crate::claim;
+use std::sync::mpsc;
+
+/// A thread-pool-free parallel executor.
+///
+/// Work is distributed over `threads` scoped threads (spawned per call —
+/// there is no resident pool to keep alive or shut down); results are
+/// collected in index order. With `threads == 1` everything runs inline on
+/// the caller thread (deterministic, no spawn overhead), which is also the
+/// fallback when only one work item exists.
+///
+/// Every parallel primitive records its worker count in a thread-local
+/// claim multiplier while its workers run, so nested uses of
+/// [`crate::Runtime::executor`] see the *remaining* thread budget and the
+/// two levels compose without oversubscription.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Executor {
+    /// Creates an executor with an explicit worker count (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded executor: everything runs inline on the caller.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A work-splitting granularity for `items` units of work: small enough
+    /// that round-robin distribution balances skewed workloads (such as
+    /// triangular kernels), large enough to amortize per-chunk overhead.
+    pub fn grain(&self, items: usize) -> usize {
+        items.div_ceil(self.threads * 4).max(1)
+    }
+
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order. `f` runs concurrently on up to `threads` workers.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let child_claim = claim::current().saturating_mul(workers);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for tid in 0..workers {
+                let tx = tx.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    claim::set(child_claim);
+                    let mut i = tid;
+                    while i < n {
+                        // A send only fails if the receiver hung up, which
+                        // cannot happen while this scope is alive.
+                        let _ = tx.send((i, f(i)));
+                        i += workers;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (i, v) in rx {
+                slots[i] = Some(v);
+            }
+            // If a worker panicked, its items never arrived and this
+            // expect fires; the scope then joins the remaining workers
+            // before the panic propagates.
+            slots
+                .into_iter()
+                .map(|s| s.expect("executor: missing chunk result"))
+                .collect()
+        })
+    }
+
+    /// Applies `f` to every index in `0..n` for its side effects, without
+    /// collecting results (no `Vec<()>` allocation).
+    pub fn for_each<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            (0..n).for_each(f);
+            return;
+        }
+        let child_claim = claim::current().saturating_mul(workers);
+        std::thread::scope(|scope| {
+            for tid in 0..workers {
+                let f = &f;
+                scope.spawn(move || {
+                    claim::set(child_claim);
+                    let mut i = tid;
+                    while i < n {
+                        f(i);
+                        i += workers;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Applies `f` to every index and reduces the results with `combine`,
+    /// starting from `init`.
+    ///
+    /// Each worker folds its own indices into a private partial result;
+    /// the per-worker partials are then tree-combined in worker order, so
+    /// the outcome is deterministic for a fixed worker count (and exactly
+    /// the sequential fold when `threads == 1`).
+    pub fn map_reduce<T, F, R>(&self, n: usize, f: F, init: T, combine: R) -> T
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(f).fold(init, combine);
+        }
+        let child_claim = claim::current().saturating_mul(workers);
+        let mut partials: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|tid| {
+                    let f = &f;
+                    let combine = &combine;
+                    scope.spawn(move || {
+                        claim::set(child_claim);
+                        let mut acc: Option<T> = None;
+                        let mut i = tid;
+                        while i < n {
+                            let v = f(i);
+                            acc = Some(match acc {
+                                None => v,
+                                Some(a) => combine(a, v),
+                            });
+                            i += workers;
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(partial) => partial,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        // Tree combine: pairwise rounds over the worker partials, in
+        // worker order, until one value remains.
+        while partials.len() > 1 {
+            let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+            let mut it = partials.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(combine(a, b)),
+                    None => next.push(a),
+                }
+            }
+            partials = next;
+        }
+        match partials.pop() {
+            Some(v) => combine(init, v),
+            None => init,
+        }
+    }
+
+    /// Splits `data` into chunks of at most `chunk_len` elements and
+    /// applies `f(chunk_index, chunk)` to each, distributing chunks
+    /// round-robin over the workers.
+    ///
+    /// Chunk `i` covers `data[i * chunk_len .. (i + 1) * chunk_len]`
+    /// (shorter for the last chunk), so callers can recover each chunk's
+    /// offset from its index. Because the chunks are disjoint `&mut`
+    /// slices, this is the safe-Rust backbone of every band-parallel
+    /// kernel in the workspace.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let workers = self.threads.min(n_chunks.max(1));
+        if workers <= 1 || n_chunks <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            assignments[i % workers].push((i, chunk));
+        }
+        let child_claim = claim::current().saturating_mul(workers);
+        std::thread::scope(|scope| {
+            for worker_chunks in assignments {
+                let f = &f;
+                scope.spawn(move || {
+                    claim::set(child_claim);
+                    for (i, chunk) in worker_chunks {
+                        f(i, chunk);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Runs two closures concurrently (the second on a scoped worker, the
+    /// first on the calling thread) and returns both results.
+    pub fn par_join<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if self.threads <= 1 {
+            return (fa(), fb());
+        }
+        let child_claim = claim::current().saturating_mul(2);
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(move || {
+                claim::set(child_claim);
+                fb()
+            });
+            let a = claim::scoped(child_claim, fa);
+            let b = match hb.join() {
+                Ok(b) => b,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (a, b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let ex = Executor::new(4);
+        let out = ex.map(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_single_threaded_path() {
+        let ex = Executor::new(1);
+        assert_eq!(ex.map(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(ex.map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let ex = Executor::new(3);
+        let total = ex.map_reduce(100, |i| i as u64, 0u64, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn map_reduce_serial_is_sequential_fold() {
+        // With one thread the reduction is exactly the sequential fold —
+        // the compatibility guarantee the kernels' bit-for-bit tests rely
+        // on.
+        let ex = Executor::serial();
+        let concat = ex.map_reduce(
+            5,
+            |i| i.to_string(),
+            String::new(),
+            |a, b| format!("{a}{b}"),
+        );
+        assert_eq!(concat, "01234");
+    }
+
+    #[test]
+    fn map_reduce_partials_cover_all_items() {
+        for threads in 1..6 {
+            let ex = Executor::new(threads);
+            let total = ex.map_reduce(57, |i| i as u64 + 1, 0, |a, b| a + b);
+            assert_eq!(total, (1..=57).sum::<u64>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_index() {
+        let hits = AtomicUsize::new(0);
+        Executor::new(4).for_each(33, |i| {
+            hits.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), (1..=33).sum::<usize>());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjoint_bands() {
+        let mut data = vec![0usize; 103];
+        Executor::new(4).par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + off;
+            }
+        });
+        // Every element was written exactly once with its global index.
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn par_chunks_mut_serial_matches() {
+        let mut a = vec![1.0f64; 37];
+        let mut b = a.clone();
+        let f = |ci: usize, chunk: &mut [f64]| {
+            for v in chunk.iter_mut() {
+                *v += ci as f64;
+            }
+        };
+        Executor::new(1).par_chunks_mut(&mut a, 5, f);
+        Executor::new(5).par_chunks_mut(&mut b, 5, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_join_returns_both() {
+        let (a, b) = Executor::new(2).par_join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        let (a, b) = Executor::serial().par_join(|| 40 + 2, || vec![1, 2]);
+        assert_eq!(a, 42);
+        assert_eq!(b, vec![1, 2]);
+    }
+
+    #[test]
+    fn default_has_at_least_one_thread() {
+        assert!(Executor::default().threads() >= 1);
+    }
+
+    #[test]
+    fn grain_is_positive_and_splits_work() {
+        let ex = Executor::new(4);
+        assert_eq!(ex.grain(0), 1);
+        assert!(ex.grain(1000) <= 1000usize.div_ceil(4));
+        assert!(Executor::serial().grain(7) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "executor:")]
+    fn worker_panics_propagate() {
+        Executor::new(2).map(4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn map_reduce_worker_panics_propagate() {
+        Executor::new(2).map_reduce(
+            4,
+            |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            },
+            0,
+            |a, b| a + b,
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = Executor::new(1).map(25, |i| (i * 31) % 7);
+        let parallel = Executor::new(8).map(25, |i| (i * 31) % 7);
+        assert_eq!(serial, parallel);
+    }
+}

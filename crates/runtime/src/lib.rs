@@ -1,0 +1,77 @@
+//! The shared parallel runtime: a scoped-thread [`Executor`] and the
+//! process-global [`Runtime`] that sizes it.
+//!
+//! This crate sits at the very bottom of the workspace DAG so that every
+//! compute layer — dense kernels, sparse kernels, the normalized rewrites,
+//! and the chunked (ORE-analog) backend — schedules work on the *same*
+//! thread budget instead of each layer spawning its own oblivious pool.
+//!
+//! ## Threading model
+//!
+//! * The process-wide worker count comes from the `MORPHEUS_NUM_THREADS`
+//!   environment variable (read once, at first use), falling back to
+//!   [`std::thread::available_parallelism`]. It can be overridden
+//!   programmatically with [`Runtime::set_threads`].
+//! * Kernels obtain an executor with [`Runtime::executor`]; callers that
+//!   want explicit control pass their own [`Executor`] to the `*_with`
+//!   kernel variants instead.
+//! * Parallel sections **compose without oversubscription**: when an outer
+//!   level (e.g. the chunk-at-a-time backend) claims `W` workers, code
+//!   running inside those workers sees only the remaining budget
+//!   (`threads / W`, floored at 1) from [`Runtime::executor`]. The
+//!   bookkeeping is a thread-local claim multiplier maintained by the
+//!   executor itself, so composition needs no plumbing.
+//!
+//! ## Determinism
+//!
+//! All executor primitives are deterministic for a fixed worker count:
+//! work is distributed by index (round-robin or contiguous bands), results
+//! are combined in index order, and worker panics propagate. The kernels
+//! built on top preserve the *per-output-element accumulation order* of
+//! their serial versions, so parallel and single-threaded runs agree
+//! bit-for-bit.
+
+mod executor;
+mod runtime;
+
+pub use executor::Executor;
+pub use runtime::Runtime;
+
+/// Thread-local bookkeeping of how many workers enclosing parallel
+/// sections have claimed, so nested parallelism divides the global budget
+/// instead of multiplying it.
+pub(crate) mod claim {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLAIMED: Cell<usize> = const { Cell::new(1) };
+    }
+
+    /// The product of worker counts claimed by enclosing parallel sections
+    /// on this thread (1 when not inside any).
+    pub(crate) fn current() -> usize {
+        CLAIMED.with(|c| c.get())
+    }
+
+    /// Sets the claim multiplier for this thread (used on freshly spawned
+    /// worker threads, which die when their scope ends).
+    pub(crate) fn set(value: usize) {
+        CLAIMED.with(|c| c.set(value.max(1)));
+    }
+
+    /// Runs `f` with the claim multiplier temporarily set to `value`,
+    /// restoring the previous value afterwards (also on panic).
+    pub(crate) fn scoped<R>(value: usize, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set(self.0);
+            }
+        }
+        let guard = Restore(current());
+        set(value);
+        let out = f();
+        drop(guard);
+        out
+    }
+}

@@ -1,0 +1,99 @@
+//! The process-global [`Runtime`]: one place that decides how many worker
+//! threads parallel kernels may use.
+
+use crate::{claim, Executor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count configured for the process; `0` means "not yet resolved".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-global thread-budget authority.
+///
+/// `Runtime` owns no threads itself — executors spawn scoped threads on
+/// demand — it only answers "how many workers may this call site use right
+/// now?", accounting for workers already claimed by enclosing parallel
+/// sections (see the crate docs for the composition rule).
+#[derive(Debug, Clone, Copy)]
+pub struct Runtime;
+
+impl Runtime {
+    /// The configured process-wide worker count.
+    ///
+    /// Resolved once, at first use: `MORPHEUS_NUM_THREADS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`]
+    /// (1 if that fails). Later changes to the environment variable have
+    /// no effect; use [`Runtime::set_threads`] instead.
+    pub fn threads() -> usize {
+        match THREADS.load(Ordering::Relaxed) {
+            0 => {
+                let n = Self::detect();
+                // A racing first call detects the same value; last store
+                // wins harmlessly.
+                THREADS.store(n, Ordering::Relaxed);
+                n
+            }
+            n => n,
+        }
+    }
+
+    /// Overrides the process-wide worker count (minimum 1). Takes effect
+    /// for every subsequent [`Runtime::executor`] call.
+    pub fn set_threads(n: usize) {
+        THREADS.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Worker budget available to the *current call site*: the configured
+    /// count divided by what enclosing parallel sections have already
+    /// claimed, floored at 1.
+    pub fn available() -> usize {
+        (Self::threads() / claim::current()).max(1)
+    }
+
+    /// An executor sized to [`Runtime::available`] — the default executor
+    /// every kernel uses when the caller does not pass one explicitly.
+    pub fn executor() -> Executor {
+        Executor::new(Self::available())
+    }
+
+    fn detect() -> usize {
+        if let Ok(v) = std::env::var("MORPHEUS_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(Runtime::threads() >= 1);
+    }
+
+    // One test, not several: set_threads mutates the process-global
+    // worker count, and concurrent #[test]s doing so would race.
+    #[test]
+    fn global_thread_count_rules() {
+        Runtime::set_threads(0);
+        assert!(Runtime::threads() >= 1, "set_threads clamps to >= 1");
+
+        Runtime::set_threads(6);
+        assert_eq!(Runtime::threads(), 6);
+        let outer = Executor::new(3);
+        let inner_sizes = outer.map(3, |_| Runtime::available());
+        // 6 configured / 3 claimed = 2 per worker.
+        for s in inner_sizes {
+            assert!(s <= 2, "inner section saw {s} workers, expected <= 2");
+        }
+        // Outside any parallel section the full budget is visible again.
+        assert_eq!(Runtime::available(), Runtime::threads());
+    }
+}

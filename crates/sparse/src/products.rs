@@ -8,6 +8,21 @@
 
 use crate::CsrMatrix;
 use morpheus_dense::DenseMatrix;
+use morpheus_runtime::{Executor, Runtime};
+
+/// Work estimate (in fused multiply-adds) below which sparse kernels run
+/// inline — scoped-thread spawns cost more than tiny products.
+const PAR_WORK_THRESHOLD: usize = 1 << 16;
+
+/// Caps `ex` to one worker when there is too little work to amortize
+/// thread spawns. Scheduling only — results are identical either way.
+fn effective(ex: &Executor, work: usize) -> Executor {
+    if work < PAR_WORK_THRESHOLD {
+        Executor::serial()
+    } else {
+        *ex
+    }
+}
 
 impl CsrMatrix {
     /// Sparse × dense product `self * x` → dense.
@@ -15,6 +30,16 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `self.cols() != x.rows()`.
     pub fn spmm_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        self.spmm_dense_with(x, &Runtime::executor())
+    }
+
+    /// [`CsrMatrix::spmm_dense`] with an explicit executor: CSR rows map to
+    /// independent output rows, parallelized over row bands with the serial
+    /// per-row accumulation order preserved (bit-identical to one thread).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != x.rows()`.
+    pub fn spmm_dense_with(&self, x: &DenseMatrix, ex: &Executor) -> DenseMatrix {
         assert_eq!(
             self.cols(),
             x.rows(),
@@ -24,29 +49,42 @@ impl CsrMatrix {
             x.rows(),
             x.cols()
         );
+        let m = self.rows();
         let n = x.cols();
+        let ex = effective(ex, self.nnz() * n.max(1));
         if n == 1 {
             // Vector fast path: one fused scalar accumulation per non-zero.
             let xs = x.as_slice();
-            let sums: Vec<f64> = (0..self.rows())
-                .map(|i| {
-                    let (cols, vals) = self.row(i);
-                    cols.iter().zip(vals).map(|(&c, &v)| v * xs[c]).sum()
-                })
-                .collect();
+            let mut sums = vec![0.0; m];
+            if m > 0 {
+                let band = ex.grain(m);
+                ex.par_chunks_mut(&mut sums, band, |bi, chunk| {
+                    let i0 = bi * band;
+                    for (li, o) in chunk.iter_mut().enumerate() {
+                        let (cols, vals) = self.row(i0 + li);
+                        *o = cols.iter().zip(vals).map(|(&c, &v)| v * xs[c]).sum();
+                    }
+                });
+            }
             return DenseMatrix::col_vector(&sums);
         }
-        let mut out = DenseMatrix::zeros(self.rows(), n);
-        for i in 0..self.rows() {
-            let (cols, vals) = self.row(i);
-            let orow = out.row_mut(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let xrow = x.row(c);
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += v * xv;
+        let mut out = DenseMatrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let band = ex.grain(m);
+        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
+            let i0 = bi * band;
+            for (li, orow) in chunk.chunks_mut(n).enumerate() {
+                let (cols, vals) = self.row(i0 + li);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let xrow = x.row(c);
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -180,18 +218,43 @@ impl CsrMatrix {
     /// Accumulates outer products of the sparse rows into the upper triangle,
     /// then mirrors — the same symmetry saving as the dense kernel.
     pub fn crossprod_dense(&self) -> DenseMatrix {
+        self.crossprod_dense_with(&Runtime::executor())
+    }
+
+    /// [`CsrMatrix::crossprod_dense`] with an explicit executor.
+    ///
+    /// This kernel scatters row outer-products into the output, so workers
+    /// own disjoint bands of output rows; each streams over all non-zeros
+    /// but accumulates only the entries whose leading column falls in its
+    /// band. Per-element accumulation order equals the serial kernel, so
+    /// parallel results are bit-identical to one thread.
+    pub fn crossprod_dense_with(&self, ex: &Executor) -> DenseMatrix {
         let d = self.cols();
         let mut out = DenseMatrix::zeros(d, d);
-        let o = out.as_mut_slice();
-        for i in 0..self.rows() {
-            let (cols, vals) = self.row(i);
-            for (p, (&ci, &vi)) in cols.iter().zip(vals).enumerate() {
-                let orow = &mut o[ci * d..(ci + 1) * d];
-                for (&cj, &vj) in cols[p..].iter().zip(&vals[p..]) {
-                    orow[cj] += vi * vj;
+        if d == 0 || self.nnz() == 0 {
+            return out;
+        }
+        // Work per row of the triangle is irregular; nnz² / rows is a
+        // crude but serviceable estimate of the fma count.
+        let ex = effective(ex, self.nnz() * (self.nnz() / self.rows().max(1) + 1));
+        let band = ex.grain(d);
+        ex.par_chunks_mut(out.as_mut_slice(), band * d, |bi, chunk| {
+            let c0 = bi * band;
+            let rows_in_band = chunk.len() / d;
+            for i in 0..self.rows() {
+                let (cols, vals) = self.row(i);
+                for (p, (&ci, &vi)) in cols.iter().zip(vals).enumerate() {
+                    if ci < c0 || ci >= c0 + rows_in_band {
+                        continue;
+                    }
+                    let orow = &mut chunk[(ci - c0) * d..(ci - c0 + 1) * d];
+                    for (&cj, &vj) in cols[p..].iter().zip(&vals[p..]) {
+                        orow[cj] += vi * vj;
+                    }
                 }
             }
-        }
+        });
+        let o = out.as_mut_slice();
         for i in 0..d {
             for j in (i + 1)..d {
                 o[j * d + i] = o[i * d + j];
@@ -237,6 +300,15 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        self.spmv_with(x, &Runtime::executor())
+    }
+
+    /// [`CsrMatrix::spmv`] with an explicit executor; output entries are
+    /// independent row dot-products, parallelized over row bands.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv_with(&self, x: &[f64], ex: &Executor) -> Vec<f64> {
         assert_eq!(
             x.len(),
             self.cols(),
@@ -244,12 +316,21 @@ impl CsrMatrix {
             x.len(),
             self.cols()
         );
-        (0..self.rows())
-            .map(|i| {
-                let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum()
-            })
-            .collect()
+        let m = self.rows();
+        let mut out = vec![0.0; m];
+        if m == 0 {
+            return out;
+        }
+        let ex = effective(ex, self.nnz());
+        let band = ex.grain(m);
+        ex.par_chunks_mut(&mut out, band, |bi, chunk| {
+            let i0 = bi * band;
+            for (li, o) in chunk.iter_mut().enumerate() {
+                let (cols, vals) = self.row(i0 + li);
+                *o = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+            }
+        });
+        out
     }
 }
 
@@ -345,6 +426,32 @@ mod tests {
         assert_eq!(kr.row(0), &[3.0, 4.0]);
         assert_eq!(kr.row(1), &[1.0, 2.0]);
         assert_eq!(kr.row(2), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn parallel_sparse_kernels_bit_identical_to_serial() {
+        use morpheus_runtime::Executor;
+        // A bigger pseudo-random sparse matrix so several bands exist.
+        let trips: Vec<(usize, usize, f64)> = (0..400)
+            .map(|t| {
+                let i = (t * 7 + 3) % 37;
+                let j = (t * 13 + 5) % 19;
+                (i, j, ((t % 11) as f64) - 5.0)
+            })
+            .collect();
+        let a = CsrMatrix::from_triplets(37, 19, &trips).unwrap();
+        let x = dn(19, 4);
+        let xv: Vec<f64> = (0..19).map(|i| (i as f64) * 0.25 - 2.0).collect();
+        let serial = Executor::serial();
+        for threads in [2, 3, 8] {
+            let par = Executor::new(threads);
+            assert_eq!(a.spmm_dense_with(&x, &par), a.spmm_dense_with(&x, &serial));
+            assert_eq!(a.spmv_with(&xv, &par), a.spmv_with(&xv, &serial));
+            assert_eq!(
+                a.crossprod_dense_with(&par),
+                a.crossprod_dense_with(&serial)
+            );
+        }
     }
 
     #[test]

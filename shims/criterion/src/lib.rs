@@ -9,13 +9,95 @@
 //! statistics, plots, or outlier analysis. Swapping the real criterion
 //! back in is a one-line `Cargo.toml` change; the bench sources are
 //! unchanged.
+//!
+//! Unlike the real crate, the shim also **persists** every median to a
+//! flat JSON map at `<workspace>/target/bench-baselines.json` (override
+//! the path with `MORPHEUS_BENCH_BASELINES`), merging with whatever is
+//! already there — bench binaries run as separate processes, so each
+//! merges its own results in. The committed baseline gate
+//! (`morpheus-bench/src/bin/bench_gate.rs`) compares this file against a
+//! checked-in snapshot and fails CI on regressions.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// Where bench medians are persisted: `MORPHEUS_BENCH_BASELINES` if set,
+/// else `target/bench-baselines.json` under the nearest ancestor directory
+/// holding a `Cargo.lock` (the workspace root; bench binaries may run with
+/// a member crate as their working directory).
+fn baselines_path() -> PathBuf {
+    if let Ok(p) = std::env::var("MORPHEUS_BENCH_BASELINES") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench-baselines.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/bench-baselines.json");
+        }
+    }
+}
+
+/// Parses the shim's own flat `{"name": nanos, ...}` JSON (string keys,
+/// unsigned-integer values, no escapes — exactly what [`write_baselines`]
+/// emits). Unknown or malformed content yields an empty map.
+pub fn parse_baselines(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<u128>() {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
+/// Merges `results` into the persisted baseline file (existing keys are
+/// overwritten, unrelated keys kept) and writes it back, sorted by name.
+/// I/O errors are reported to stderr but never fail the bench run.
+fn write_baselines(results: &[(String, u128)]) {
+    let path = baselines_path();
+    let mut merged: Vec<(String, u128)> = std::fs::read_to_string(&path)
+        .map(|t| parse_baselines(&t))
+        .unwrap_or_default();
+    for (k, v) in results {
+        match merged.iter_mut().find(|(mk, _)| mk == k) {
+            Some(slot) => slot.1 = *v,
+            None => merged.push((k.clone(), *v)),
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut json = String::from("{\n");
+    for (i, (k, v)) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        json.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+    }
+    json.push_str("}\n");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot persist baselines to {path:?}: {e}");
+    }
+}
 
 /// How batched setup output is amortized (mirror of `criterion::BatchSize`).
 #[derive(Debug, Clone, Copy)]
@@ -100,7 +182,9 @@ impl Criterion {
             last_ns: Vec::new(),
         };
         f(&mut b);
-        println!("bench {id:<48} {:>12} ns/iter (median)", b.median_ns());
+        let median = b.median_ns();
+        println!("bench {id:<48} {median:>12} ns/iter (median)");
+        write_baselines(&[(id, median)]);
         self
     }
 
@@ -187,5 +271,22 @@ mod tests {
     #[test]
     fn group_runs() {
         smoke();
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let entries = vec![
+            ("pkfk/a/lmm/F".to_string(), 12345u128),
+            ("kernels/gemm".to_string(), 9_876_543_210u128),
+        ];
+        let mut json = String::from("{\n");
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            json.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+        }
+        json.push_str("}\n");
+        assert_eq!(parse_baselines(&json), entries);
+        assert!(parse_baselines("").is_empty());
+        assert!(parse_baselines("not json at all").is_empty());
     }
 }

@@ -4,7 +4,10 @@
 //! (Chen, Kumar, Naughton, Patel — VLDB 2017). This facade crate re-exports
 //! the whole workspace behind one dependency:
 //!
-//! * [`dense`] — dense `f64` matrix kernels (GEMM, crossprod, aggregations).
+//! * [`runtime`] — the shared scoped-thread parallel runtime ([`runtime::Executor`],
+//!   the process-global [`runtime::Runtime`], `MORPHEUS_NUM_THREADS`).
+//! * [`dense`] — dense `f64` matrix kernels (GEMM, crossprod, aggregations),
+//!   band-parallel on the shared runtime.
 //! * [`sparse`] — CSR sparse matrices and the join indicator matrices.
 //! * [`linalg`] — QR, LU, Cholesky, eigendecomposition, SVD, pseudo-inverse.
 //! * [`core`] — the **normalized matrix** and the factorized rewrite rules.
@@ -40,6 +43,7 @@ pub use morpheus_dense as dense;
 pub use morpheus_lang as lang;
 pub use morpheus_linalg as linalg;
 pub use morpheus_ml as ml;
+pub use morpheus_runtime as runtime;
 pub use morpheus_sparse as sparse;
 
 /// Convenient single-line import of the most commonly used types.
@@ -83,5 +87,6 @@ pub mod prelude {
         gnmf::Gnmf, kmeans::KMeans, linreg::LinearRegressionGd, linreg::LinearRegressionNe,
         logreg::LogisticRegressionGd,
     };
+    pub use morpheus_runtime::{Executor, Runtime};
     pub use morpheus_sparse::CsrMatrix;
 }

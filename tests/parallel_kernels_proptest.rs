@@ -1,0 +1,133 @@
+//! Property-based validation of the shared parallel runtime: for random
+//! shapes and worker counts, the band-parallel dense/sparse kernels must
+//! agree with the single-threaded path **bit for bit** (each output
+//! element is accumulated by exactly one worker in the serial order), and
+//! chunk-level parallelism composed over kernel-level parallelism
+//! (oversubscription) must stay deterministic.
+
+use morpheus::chunked::ChunkedMatrix;
+use morpheus::core::LinearOperand;
+use morpheus::prelude::*;
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed | 1;
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn sparse(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    let nnz = (rows * cols / 3).max(1);
+    let mut state = seed | 1;
+    let trips: Vec<(usize, usize, f64)> = (0..nnz)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 33) as usize % rows;
+            let j = (state >> 13) as usize % cols;
+            let v = ((state >> 3) % 19) as f64 - 9.0;
+            (i, j, v)
+        })
+        .collect();
+    CsrMatrix::from_triplets(rows, cols, &trips).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_dense_kernels_bit_identical(
+        rows in 1usize..60,
+        cols in 1usize..12,
+        inner in 1usize..12,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let a = mat(rows, inner, seed);
+        let b = mat(inner, cols, seed ^ 0xA5A5);
+        let v = mat(inner, 1, seed ^ 0x77).into_vec();
+        let w = mat(rows, 1, seed ^ 0x99).into_vec();
+        let serial = Executor::serial();
+        let par = Executor::new(threads);
+        // Bit-for-bit: exact equality, not approx_eq.
+        prop_assert_eq!(a.matmul_with(&b, &par), a.matmul_with(&b, &serial));
+        prop_assert_eq!(a.matvec_with(&v, &par), a.matvec_with(&v, &serial));
+        prop_assert_eq!(a.vecmat_with(&w, &par), a.vecmat_with(&w, &serial));
+        prop_assert_eq!(a.crossprod_with(&par), a.crossprod_with(&serial));
+        prop_assert_eq!(a.tcrossprod_with(&par), a.tcrossprod_with(&serial));
+        let y = mat(rows, cols, seed ^ 0x1234);
+        prop_assert_eq!(a.t_matmul_with(&y, &par), a.t_matmul_with(&y, &serial));
+        let z = mat(cols, inner, seed ^ 0x4321);
+        prop_assert_eq!(a.matmul_t_with(&z, &par), a.matmul_t_with(&z, &serial));
+    }
+
+    #[test]
+    fn parallel_sparse_kernels_bit_identical(
+        rows in 1usize..50,
+        cols in 1usize..15,
+        width in 1usize..8,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let s = sparse(rows, cols, seed);
+        let x = mat(cols, width, seed ^ 0xBEEF);
+        let xv = mat(cols, 1, seed ^ 0xFACE).into_vec();
+        let serial = Executor::serial();
+        let par = Executor::new(threads);
+        prop_assert_eq!(s.spmm_dense_with(&x, &par), s.spmm_dense_with(&x, &serial));
+        prop_assert_eq!(s.spmv_with(&xv, &par), s.spmv_with(&xv, &serial));
+        prop_assert_eq!(s.crossprod_dense_with(&par), s.crossprod_dense_with(&serial));
+    }
+
+    #[test]
+    fn oversubscribed_chunked_over_parallel_dense_is_deterministic(
+        rows in 8usize..50,
+        cols in 2usize..8,
+        chunk in 1usize..12,
+        outer_threads in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Chunk-level parallelism claims workers; the parallel dense
+        // kernels inside each chunk see the remainder of the global
+        // budget. Whatever the split, results must be identical to the
+        // fully serial execution.
+        Runtime::set_threads(4);
+        let d = mat(rows, cols, seed);
+        let m = Matrix::Dense(d.clone());
+        let nested = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(outer_threads));
+        let serial = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(1));
+
+        let x = mat(cols, 3, seed ^ 0x5E5E);
+        prop_assert_eq!(nested.lmm(&x), serial.lmm(&x));
+        prop_assert_eq!(
+            LinearOperand::crossprod(&nested),
+            LinearOperand::crossprod(&serial)
+        );
+        // Repeated runs are stable too (no scheduling-dependent results).
+        prop_assert_eq!(nested.lmm(&x), nested.lmm(&x));
+        prop_assert_eq!(
+            LinearOperand::crossprod(&nested),
+            LinearOperand::crossprod(&nested)
+        );
+    }
+
+    #[test]
+    fn one_thread_executor_reproduces_default_results(
+        rows in 1usize..40,
+        cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // The plain methods (Runtime-sized) must compute the same bits as
+        // an explicit 1-thread executor — parallelism is pure scheduling.
+        let a = mat(rows, cols, seed);
+        let b = mat(cols, rows, seed ^ 0xD00D);
+        let serial = Executor::serial();
+        prop_assert_eq!(a.matmul(&b), a.matmul_with(&b, &serial));
+        prop_assert_eq!(a.crossprod(), a.crossprod_with(&serial));
+    }
+}
