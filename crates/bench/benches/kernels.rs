@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use morpheus_dense::DenseMatrix;
 use morpheus_linalg::{eigen_sym, ginv_sym_psd, svd};
+use morpheus_runtime::{Executor, Runtime};
 use morpheus_sparse::CsrMatrix;
 use std::hint::black_box;
 
@@ -87,9 +88,63 @@ fn bench_linalg(c: &mut Criterion) {
     });
 }
 
+/// Dispatch-latency comparison for tiny parallel sections: the resident
+/// pool (queue push + condvar wake) vs. the pre-pool cold path (scoped
+/// thread spawn per call). This is the "spawn tax" the pool exists to
+/// eliminate — the pool rows must come in well below the scoped rows, and
+/// their latency bounds how low `MORPHEUS_PAR_THRESHOLD` can usefully go.
+fn bench_spawn_overhead(c: &mut Criterion) {
+    const WORKERS: usize = 4;
+    const ITEMS: usize = 16;
+    // Pin a real pool even on single-core CI boxes so dispatch actually
+    // crosses threads; restored below.
+    let configured = Runtime::threads();
+    Runtime::set_threads(WORKERS);
+    let ex = Executor::new(WORKERS);
+
+    let mut g = c.benchmark_group("spawn_overhead");
+    g.bench_function("pool/for_each-16", |b| {
+        b.iter(|| {
+            ex.for_each(ITEMS, |i| {
+                black_box(i);
+            })
+        })
+    });
+    g.bench_function("pool/map-16", |b| {
+        b.iter(|| black_box(ex.map(ITEMS, |i| i as f64 * 1.5)))
+    });
+    g.bench_function("scoped/for_each-16", |b| {
+        // What the executor did before the resident pool: spawn scoped
+        // threads on every call, same stride decomposition.
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for tid in 0..WORKERS {
+                    scope.spawn(move || {
+                        let mut i = tid;
+                        while i < ITEMS {
+                            black_box(i);
+                            i += WORKERS;
+                        }
+                    });
+                }
+            })
+        })
+    });
+    g.bench_function("inline/for_each-16", |b| {
+        // The serial floor both dispatch paths are measured against.
+        b.iter(|| {
+            for i in 0..ITEMS {
+                black_box(i);
+            }
+        })
+    });
+    g.finish();
+    Runtime::set_threads(configured);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg
+    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg, bench_spawn_overhead
 }
 criterion_main!(benches);

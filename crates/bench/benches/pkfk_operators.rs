@@ -41,6 +41,29 @@ fn bench_kernel_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scatter-written sparse kernels (two-pass symbolic/numeric parallel
+/// scheme): transposed SpMM and dense×sparse as they appear in the
+/// normalized gram path (`K G` then `(K G) Kᵀ`), and the SpGEMM behind
+/// `KᵀK` in the naive cross-product and M:N rewrites. Indicator-shaped
+/// operands, like the rewrites produce.
+fn bench_scatter_kernels(c: &mut Criterion) {
+    let n = 2_000;
+    let base = 200;
+    let k = morpheus_sparse::CsrMatrix::indicator(
+        &(0..n).map(|i| (i * 7) % base).collect::<Vec<_>>(),
+        base,
+    );
+    let y = DenseMatrix::from_fn(n, 16, |i, j| ((i * 5 + j * 3) % 11) as f64 * 0.25 - 1.0);
+    let xd = DenseMatrix::from_fn(64, n, |i, j| ((i + j * 2) % 7) as f64 * 0.5 - 1.5);
+    let kt = k.transpose();
+
+    let mut g = c.benchmark_group("pkfk/scatter");
+    g.bench_function("t_spmm", |b| b.iter(|| black_box(k.t_spmm_dense(&y))));
+    g.bench_function("dense_spmm", |b| b.iter(|| black_box(k.dense_spmm(&xd))));
+    g.bench_function("spgemm KtK", |b| b.iter(|| black_box(kt.spgemm(&k))));
+    g.finish();
+}
+
 fn bench_point(c: &mut Criterion, tag: &str, tr: f64, fr: f64) {
     let ds = PkFkSpec::from_ratios(tr, fr, 500, 20, 42).generate();
     let tn = ds.tn;
@@ -76,6 +99,7 @@ fn benches(c: &mut Criterion) {
     bench_point(c, "tr10-fr2", 10.0, 2.0);
     bench_point(c, "tr2-fr0.5", 2.0, 0.5);
     bench_kernel_threads(c);
+    bench_scatter_kernels(c);
 }
 
 criterion_group! {

@@ -333,7 +333,9 @@ impl LinearOperand for ChunkedNormalizedMatrix {
     }
 }
 
-/// `aᵀ b` across representations, returned dense.
+/// `aᵀ b` across representations, returned dense. The sparse arms are the
+/// two-pass scatter kernels; run under a chunk-level claim they see the
+/// remaining thread budget, so chunk- and kernel-level parallelism nest.
 fn t_cross(a: &Matrix, b: &Matrix) -> DenseMatrix {
     match (a, b) {
         (Matrix::Dense(x), Matrix::Dense(y)) => x.t_matmul(y),

@@ -26,7 +26,10 @@ use crate::Matrix;
 use morpheus_dense::DenseMatrix;
 use morpheus_runtime::Runtime;
 
-/// `aᵀ b` across all four representation pairings, returned dense.
+/// `aᵀ b` across all four representation pairings, returned dense. Every
+/// arm is transpose-free and band-parallel, including the scatter-written
+/// sparse ones (`t_spmm_dense` / `t_spgemm_dense` run a two-pass
+/// symbolic/numeric scheme above the work threshold).
 fn t_cross(a: &Matrix, b: &Matrix) -> DenseMatrix {
     match (a, b) {
         (Matrix::Dense(x), Matrix::Dense(y)) => x.t_matmul(y),
@@ -150,7 +153,9 @@ impl NormalizedMatrix {
         // the accumulator (bounded memory: two n x n matrices, like the
         // serial rewrite) rather than materializing all parts at once.
         // Parallelism comes from the band-parallel kernels inside
-        // tcrossprod / spmm_dense, which see the full runtime budget here.
+        // tcrossprod / spmm_dense — and, since the scatter kernels went
+        // two-pass, dense_spmm for the `(K G) Kᵀ` step — all of which see
+        // the full runtime budget here.
         let mut out = DenseMatrix::zeros(n, n);
         for pi in &self.parts {
             let g = pi.table.tcrossprod();

@@ -145,7 +145,8 @@ impl NormalizedMatrix {
         };
         let ka_t = ka.transpose();
         // P = K_Aᵀ K_B: theorems C.1/C.2 bound max{n_RA, n_RB} ≤ nnz(P) ≤ n_S,
-        // so materializing P eagerly is safe.
+        // so materializing P eagerly is safe. The SpGEMM itself is the
+        // two-pass parallel kernel when the indicators are large enough.
         let p = Matrix::Sparse(ka_t.spgemm(kb));
         let kb_m = Matrix::Sparse(kb.clone());
         let ka_tm = Matrix::Sparse(ka_t);

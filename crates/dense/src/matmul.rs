@@ -27,20 +27,6 @@ use morpheus_runtime::{Executor, Runtime};
 /// of output rows is at most `KC x n` elements.
 const KC: usize = 256;
 
-/// Flop count below which kernels run inline: scoped-thread spawns cost a
-/// few microseconds, so tiny products are faster single-threaded.
-const PAR_FLOP_THRESHOLD: usize = 1 << 18;
-
-/// Caps `ex` to one worker when the kernel has too little work to amortize
-/// thread spawns. Scheduling only — results are identical either way.
-fn effective(ex: &Executor, flops: usize) -> Executor {
-    if flops < PAR_FLOP_THRESHOLD {
-        Executor::serial()
-    } else {
-        *ex
-    }
-}
-
 /// The serial band kernel: accumulates `out_band = A[i0..i0+rows, :] * B`
 /// with k-blocking. Per output element the k-order is strictly increasing,
 /// matching the unblocked i-k-j kernel exactly.
@@ -99,7 +85,7 @@ impl DenseMatrix {
         if m == 0 || n == 0 || k == 0 {
             return out;
         }
-        let ex = effective(ex, m * k * n);
+        let ex = ex.gated(m * k * n);
         let band = ex.grain(m);
         let a = self.as_slice();
         let b = other.as_slice();
@@ -135,7 +121,7 @@ impl DenseMatrix {
         if m == 0 {
             return out;
         }
-        let ex = effective(ex, m * k);
+        let ex = ex.gated(m * k);
         let band = ex.grain(m);
         let a = self.as_slice();
         ex.par_chunks_mut(&mut out, band, |bi, chunk| {
@@ -175,7 +161,7 @@ impl DenseMatrix {
         if n == 0 {
             return out;
         }
-        let ex = effective(ex, m * n);
+        let ex = ex.gated(m * n);
         let band = ex.grain(n);
         let a = self.as_slice();
         ex.par_chunks_mut(&mut out, band, |bi, chunk| {
@@ -234,7 +220,7 @@ impl DenseMatrix {
         if d == 0 || n == 0 {
             return out;
         }
-        let ex = effective(ex, n * d * (d + 1) / 2);
+        let ex = ex.gated(n * d * (d + 1) / 2);
         let band = ex.grain(d);
         let a = self.as_slice();
         ex.par_chunks_mut(out.as_mut_slice(), band * d, |bi, chunk| {
@@ -280,7 +266,7 @@ impl DenseMatrix {
         if n == 0 {
             return out;
         }
-        let ex = effective(ex, n * (n + 1) / 2 * d.max(1));
+        let ex = ex.gated(n * (n + 1) / 2 * d.max(1));
         let band = ex.grain(n);
         let a = self.as_slice();
         ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
@@ -334,7 +320,7 @@ impl DenseMatrix {
         if d == 0 || p == 0 || n == 0 {
             return out;
         }
-        let ex = effective(ex, n * d * p);
+        let ex = ex.gated(n * d * p);
         let a = self.as_slice();
         if p == 1 {
             // Tᵀ x for a vector x: accumulate x[i] * row(i) with a
@@ -406,7 +392,7 @@ impl DenseMatrix {
         if m == 0 || n == 0 {
             return out;
         }
-        let ex = effective(ex, m * n * k.max(1));
+        let ex = ex.gated(m * n * k.max(1));
         let band = ex.grain(m);
         let a = self.as_slice();
         let b = other.as_slice();

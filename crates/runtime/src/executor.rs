@@ -1,18 +1,22 @@
-//! The scoped-thread parallel executor shared by every compute layer.
+//! The parallel executor shared by every compute layer, dispatching onto
+//! the process-resident worker pool.
 
-use crate::claim;
-use std::sync::mpsc;
+use crate::{pool, Runtime};
+use std::sync::Mutex;
 
-/// A thread-pool-free parallel executor.
+/// A parallel executor backed by the resident worker pool.
 ///
-/// Work is distributed over `threads` scoped threads (spawned per call —
-/// there is no resident pool to keep alive or shut down); results are
-/// collected in index order. With `threads == 1` everything runs inline on
-/// the caller thread (deterministic, no spawn overhead), which is also the
-/// fallback when only one work item exists.
+/// Work is distributed over `threads` *strides*; the calling thread always
+/// runs strides itself and parked pool workers pick up the rest, so
+/// dispatch never creates a thread (see [`crate::pool`]). With
+/// `threads == 1` everything runs inline on the caller (deterministic, no
+/// dispatch overhead), which is also the fallback when only one work item
+/// exists. Requesting more strides than resident workers exist is fine —
+/// the surplus strides run sequentially on whichever threads are available
+/// and results are unchanged.
 ///
-/// Every parallel primitive records its worker count in a thread-local
-/// claim multiplier while its workers run, so nested uses of
+/// Every parallel primitive records its stride count in a thread-local
+/// claim multiplier while its strides run, so nested uses of
 /// [`crate::Runtime::executor`] see the *remaining* thread budget and the
 /// two levels compose without oversubscription.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +32,14 @@ impl Default for Executor {
                 .unwrap_or(1),
         )
     }
+}
+
+/// Unwraps a mutex that can only be poisoned if a stride panicked — in
+/// which case [`pool::broadcast`] already re-threw before results are
+/// read, so recovering the inner value is always sound here.
+fn into_ok<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Executor {
@@ -48,6 +60,18 @@ impl Executor {
         self.threads
     }
 
+    /// This executor, capped to one worker when `work` (in flops or
+    /// equivalent fused operations) is below the runtime's parallelism
+    /// threshold — see [`Runtime::should_parallelize`]. Scheduling only:
+    /// results are identical either way.
+    pub fn gated(&self, work: usize) -> Executor {
+        if Runtime::should_parallelize(work) {
+            *self
+        } else {
+            Self::serial()
+        }
+    }
+
     /// A work-splitting granularity for `items` units of work: small enough
     /// that round-robin distribution balances skewed workloads (such as
     /// triangular kernels), large enough to amortize per-chunk overhead.
@@ -66,36 +90,30 @@ impl Executor {
         if workers <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
-        let child_claim = claim::current().saturating_mul(workers);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        std::thread::scope(|scope| {
-            for tid in 0..workers {
-                let tx = tx.clone();
-                let f = &f;
-                scope.spawn(move || {
-                    claim::set(child_claim);
-                    let mut i = tid;
-                    while i < n {
-                        // A send only fails if the receiver hung up, which
-                        // cannot happen while this scope is alive.
-                        let _ = tx.send((i, f(i)));
-                        i += workers;
-                    }
-                });
+        // Stride `s` produces items s, s + workers, … in order; the
+        // per-stride buffers are interleaved back into index order below.
+        let buffers: Vec<Mutex<Vec<T>>> = (0..workers)
+            .map(|_| Mutex::new(Vec::with_capacity(n.div_ceil(workers))))
+            .collect();
+        pool::broadcast(workers, &|stride| {
+            let mut buf = buffers[stride].lock().unwrap();
+            let mut i = stride;
+            while i < n {
+                buf.push(f(i));
+                i += workers;
             }
-            drop(tx);
-            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-            for (i, v) in rx {
-                slots[i] = Some(v);
-            }
-            // If a worker panicked, its items never arrived and this
-            // expect fires; the scope then joins the remaining workers
-            // before the panic propagates.
-            slots
-                .into_iter()
-                .map(|s| s.expect("executor: missing chunk result"))
-                .collect()
-        })
+        });
+        let mut iters: Vec<_> = buffers
+            .into_iter()
+            .map(|b| into_ok(b).into_iter())
+            .collect();
+        (0..n)
+            .map(|i| {
+                iters[i % workers]
+                    .next()
+                    .expect("executor: missing stride result")
+            })
+            .collect()
     }
 
     /// Applies `f` to every index in `0..n` for its side effects, without
@@ -109,18 +127,45 @@ impl Executor {
             (0..n).for_each(f);
             return;
         }
-        let child_claim = claim::current().saturating_mul(workers);
-        std::thread::scope(|scope| {
-            for tid in 0..workers {
-                let f = &f;
-                scope.spawn(move || {
-                    claim::set(child_claim);
-                    let mut i = tid;
-                    while i < n {
-                        f(i);
-                        i += workers;
-                    }
-                });
+        pool::broadcast(workers, &|stride| {
+            let mut i = stride;
+            while i < n {
+                f(i);
+                i += workers;
+            }
+        });
+    }
+
+    /// Consumes `items`, applying `f` to each; item `i` is assigned to
+    /// stride `i % threads`, and each stride processes its items in index
+    /// order. This is the variable-sized sibling of
+    /// [`Executor::par_chunks_mut`]: callers that carve an output into
+    /// unequal disjoint pieces (per-row extents from a counting pass, say)
+    /// ship each piece as an owned item.
+    pub fn for_each_item<W, F>(&self, items: Vec<W>, f: F)
+    where
+        W: Send,
+        F: Fn(W) + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let mut assignments: Vec<Vec<W>> = (0..workers)
+            .map(|_| Vec::with_capacity(n.div_ceil(workers)))
+            .collect();
+        for (i, item) in items.into_iter().enumerate() {
+            assignments[i % workers].push(item);
+        }
+        let slots: Vec<Mutex<Vec<W>>> = assignments.into_iter().map(Mutex::new).collect();
+        pool::broadcast(workers, &|stride| {
+            let own = std::mem::take(&mut *slots[stride].lock().unwrap());
+            for item in own {
+                f(item);
             }
         });
     }
@@ -142,36 +187,21 @@ impl Executor {
         if workers <= 1 || n <= 1 {
             return (0..n).map(f).fold(init, combine);
         }
-        let child_claim = claim::current().saturating_mul(workers);
-        let mut partials: Vec<T> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|tid| {
-                    let f = &f;
-                    let combine = &combine;
-                    scope.spawn(move || {
-                        claim::set(child_claim);
-                        let mut acc: Option<T> = None;
-                        let mut i = tid;
-                        while i < n {
-                            let v = f(i);
-                            acc = Some(match acc {
-                                None => v,
-                                Some(a) => combine(a, v),
-                            });
-                            i += workers;
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .filter_map(|h| match h.join() {
-                    Ok(partial) => partial,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
+        let slots: Vec<Mutex<Option<T>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+        pool::broadcast(workers, &|stride| {
+            let mut acc: Option<T> = None;
+            let mut i = stride;
+            while i < n {
+                let v = f(i);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => combine(a, v),
+                });
+                i += workers;
+            }
+            *slots[stride].lock().unwrap() = acc;
         });
+        let mut partials: Vec<T> = slots.into_iter().filter_map(into_ok).collect();
         // Tree combine: pairwise rounds over the worker partials, in
         // worker order, until one value remains.
         while partials.len() > 1 {
@@ -217,27 +247,24 @@ impl Executor {
             }
             return;
         }
-        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
-            (0..workers).map(|_| Vec::new()).collect();
+        type Assignment<'a, T> = Vec<(usize, &'a mut [T])>;
+        let mut assignments: Vec<Assignment<'_, T>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             assignments[i % workers].push((i, chunk));
         }
-        let child_claim = claim::current().saturating_mul(workers);
-        std::thread::scope(|scope| {
-            for worker_chunks in assignments {
-                let f = &f;
-                scope.spawn(move || {
-                    claim::set(child_claim);
-                    for (i, chunk) in worker_chunks {
-                        f(i, chunk);
-                    }
-                });
+        let slots: Vec<Mutex<Assignment<'_, T>>> =
+            assignments.into_iter().map(Mutex::new).collect();
+        pool::broadcast(workers, &|stride| {
+            let mut own = slots[stride].lock().unwrap();
+            for (i, chunk) in own.iter_mut() {
+                f(*i, chunk);
             }
         });
     }
 
-    /// Runs two closures concurrently (the second on a scoped worker, the
-    /// first on the calling thread) and returns both results.
+    /// Runs two closures concurrently (as two strides of one pool job:
+    /// the caller starts on the first while an idle worker may take the
+    /// second) and returns both results.
     pub fn par_join<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
     where
         A: Send,
@@ -248,19 +275,22 @@ impl Executor {
         if self.threads <= 1 {
             return (fa(), fb());
         }
-        let child_claim = claim::current().saturating_mul(2);
-        std::thread::scope(|scope| {
-            let hb = scope.spawn(move || {
-                claim::set(child_claim);
-                fb()
-            });
-            let a = claim::scoped(child_claim, fa);
-            let b = match hb.join() {
-                Ok(b) => b,
-                Err(panic) => std::panic::resume_unwind(panic),
-            };
-            (a, b)
-        })
+        let fa = Mutex::new(Some(fa));
+        let fb = Mutex::new(Some(fb));
+        let ra: Mutex<Option<A>> = Mutex::new(None);
+        let rb: Mutex<Option<B>> = Mutex::new(None);
+        pool::broadcast(2, &|stride| {
+            if stride == 0 {
+                let f = fa.lock().unwrap().take().expect("par_join: fa taken twice");
+                *ra.lock().unwrap() = Some(f());
+            } else {
+                let f = fb.lock().unwrap().take().expect("par_join: fb taken twice");
+                *rb.lock().unwrap() = Some(f());
+            }
+        });
+        let a = into_ok(ra).expect("par_join: missing first result");
+        let b = into_ok(rb).expect("par_join: missing second result");
+        (a, b)
     }
 }
 
@@ -324,6 +354,38 @@ mod tests {
     }
 
     #[test]
+    fn for_each_item_consumes_every_item() {
+        let total = AtomicUsize::new(0);
+        let items: Vec<usize> = (1..=40).collect();
+        Executor::new(4).for_each_item(items, |v| {
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (1..=40).sum::<usize>());
+        // Serial path consumes too.
+        let hits = AtomicUsize::new(0);
+        Executor::serial().for_each_item(vec![7usize, 8], |v| {
+            hits.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn for_each_item_supports_mutable_borrows() {
+        // The motivating use: unequal disjoint output pieces shipped as
+        // owned items (what the two-pass sparse kernels do).
+        let mut data = vec![0usize; 10];
+        let (a, rest) = data.split_at_mut(3);
+        let (b, c) = rest.split_at_mut(5);
+        let items: Vec<(usize, &mut [usize])> = vec![(0, a), (1, b), (2, c)];
+        Executor::new(3).for_each_item(items, |(tag, piece)| {
+            for v in piece.iter_mut() {
+                *v = tag + 1;
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 2, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
     fn par_chunks_mut_covers_disjoint_bands() {
         let mut data = vec![0usize; 103];
         Executor::new(4).par_chunks_mut(&mut data, 10, |ci, chunk| {
@@ -372,7 +434,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "executor:")]
+    fn gated_caps_small_work_to_serial() {
+        let ex = Executor::new(4);
+        assert_eq!(ex.gated(0).threads(), 1);
+        assert_eq!(ex.gated(usize::MAX).threads(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         Executor::new(2).map(4, |i| {
             if i == 3 {
@@ -403,5 +472,13 @@ mod tests {
         let serial = Executor::new(1).map(25, |i| (i * 31) % 7);
         let parallel = Executor::new(8).map(25, |i| (i * 31) % 7);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn oversubscribed_executor_is_deterministic() {
+        // Far more strides than any plausible pool: every stride still
+        // runs exactly once and results assemble in index order.
+        let out = Executor::new(64).map(200, |i| i * 3);
+        assert_eq!(out, (0..200).map(|i| i * 3).collect::<Vec<_>>());
     }
 }

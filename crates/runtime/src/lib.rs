@@ -1,5 +1,6 @@
-//! The shared parallel runtime: a scoped-thread [`Executor`] and the
-//! process-global [`Runtime`] that sizes it.
+//! The shared parallel runtime: a resident worker pool, the [`Executor`]
+//! that dispatches onto it, and the process-global [`Runtime`] that sizes
+//! both.
 //!
 //! This crate sits at the very bottom of the workspace DAG so that every
 //! compute layer — dense kernels, sparse kernels, the normalized rewrites,
@@ -11,10 +12,23 @@
 //! * The process-wide worker count comes from the `MORPHEUS_NUM_THREADS`
 //!   environment variable (read once, at first use), falling back to
 //!   [`std::thread::available_parallelism`]. It can be overridden
-//!   programmatically with [`Runtime::set_threads`].
+//!   programmatically with [`Runtime::set_threads`], which also rebuilds
+//!   the resident pool.
+//! * Worker threads are **long-lived**: they park on a condvar between
+//!   parallel sections, and dispatching a section is a queue push plus a
+//!   wake — no thread is created on the hot path (the spawn tax of the
+//!   old scoped-thread executor). The calling thread always participates
+//!   in its own section, so dispatch degrades gracefully when workers are
+//!   busy and nested sections can never deadlock (see [`pool`]'s module
+//!   docs for the invariants).
 //! * Kernels obtain an executor with [`Runtime::executor`]; callers that
 //!   want explicit control pass their own [`Executor`] to the `*_with`
 //!   kernel variants instead.
+//! * Tiny kernels skip the pool entirely: [`Executor::gated`] caps a
+//!   section to the caller thread when its work estimate is below the
+//!   process-wide threshold (`MORPHEUS_PAR_THRESHOLD`, default
+//!   [`runtime::DEFAULT_PAR_THRESHOLD`]) — see
+//!   [`Runtime::should_parallelize`].
 //! * Parallel sections **compose without oversubscription**: when an outer
 //!   level (e.g. the chunk-at-a-time backend) claims `W` workers, code
 //!   running inside those workers sees only the remaining budget
@@ -25,17 +39,19 @@
 //! ## Determinism
 //!
 //! All executor primitives are deterministic for a fixed worker count:
-//! work is distributed by index (round-robin or contiguous bands), results
-//! are combined in index order, and worker panics propagate. The kernels
-//! built on top preserve the *per-output-element accumulation order* of
-//! their serial versions, so parallel and single-threaded runs agree
-//! bit-for-bit.
+//! work is keyed by stride index (round-robin or contiguous bands) — never
+//! by which OS thread happens to run it — results are combined in index
+//! order, and worker panics propagate. The kernels built on top preserve
+//! the *per-output-element accumulation order* of their serial versions,
+//! so parallel and single-threaded runs agree bit-for-bit at any worker
+//! count, including oversubscribed ones.
 
 mod executor;
+mod pool;
 mod runtime;
 
 pub use executor::Executor;
-pub use runtime::Runtime;
+pub use runtime::{Runtime, DEFAULT_PAR_THRESHOLD};
 
 /// Thread-local bookkeeping of how many workers enclosing parallel
 /// sections have claimed, so nested parallelism divides the global budget

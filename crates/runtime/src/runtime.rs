@@ -1,18 +1,33 @@
 //! The process-global [`Runtime`]: one place that decides how many worker
-//! threads parallel kernels may use.
+//! threads parallel kernels may use and when parallelism is worth it.
 
-use crate::{claim, Executor};
+use crate::{claim, pool, Executor};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker count configured for the process; `0` means "not yet resolved".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Work threshold below which kernels stay inline; `0` means "not yet
+/// resolved" (user values are clamped to >= 1).
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+
+/// Default work size (in flops / fused operations) below which kernels run
+/// inline on the caller. Dispatching onto the resident pool is a queue
+/// push plus a condvar wake — the `spawn_overhead` bench group measures
+/// ~0.4–1.2 µs per tiny section, vs ~52 µs for the scoped-spawn path the
+/// pool replaced — so the crossover sits around the serial time of a few
+/// thousand flops (`1 << 14` flops ≈ 3 µs at measured kernel rates). The
+/// old executor needed `1 << 18` flops to amortize its spawn tax; the
+/// pool moves the threshold down 16x, which is what lets the small
+/// per-part products inside factorized rewrite chains parallelize at all.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 14;
+
 /// The process-global thread-budget authority.
 ///
-/// `Runtime` owns no threads itself — executors spawn scoped threads on
-/// demand — it only answers "how many workers may this call site use right
-/// now?", accounting for workers already claimed by enclosing parallel
-/// sections (see the crate docs for the composition rule).
+/// `Runtime` owns the resident worker pool (see [`crate::pool`]) and
+/// answers "how many workers may this call site use right now?",
+/// accounting for workers already claimed by enclosing parallel sections
+/// (see the crate docs for the composition rule).
 #[derive(Debug, Clone, Copy)]
 pub struct Runtime;
 
@@ -36,10 +51,16 @@ impl Runtime {
         }
     }
 
-    /// Overrides the process-wide worker count (minimum 1). Takes effect
-    /// for every subsequent [`Runtime::executor`] call.
+    /// Overrides the process-wide worker count (minimum 1) and rebuilds
+    /// the resident pool to match: growth spawns parked workers,
+    /// shrinkage retires the excess after they finish the section they
+    /// are helping. Takes effect for every subsequent
+    /// [`Runtime::executor`] call; sections already in flight complete on
+    /// their old budget.
     pub fn set_threads(n: usize) {
-        THREADS.store(n.max(1), Ordering::Relaxed);
+        let n = n.max(1);
+        THREADS.store(n, Ordering::Relaxed);
+        pool::resize(n - 1);
     }
 
     /// Worker budget available to the *current call site*: the configured
@@ -53,6 +74,38 @@ impl Runtime {
     /// every kernel uses when the caller does not pass one explicitly.
     pub fn executor() -> Executor {
         Executor::new(Self::available())
+    }
+
+    /// Whether a kernel with `work` flops (or equivalent fused operations)
+    /// is worth dispatching onto the pool, per the process-wide threshold:
+    /// `MORPHEUS_PAR_THRESHOLD` if set to an integer (clamped to >= 1, read
+    /// once at first use), else [`DEFAULT_PAR_THRESHOLD`]. Kernels apply
+    /// this via [`Executor::gated`]; it affects scheduling only, never
+    /// results.
+    pub fn should_parallelize(work: usize) -> bool {
+        work >= Self::par_threshold()
+    }
+
+    /// Overrides the parallelism threshold (minimum 1) for the whole
+    /// process; `1` makes every parallel-capable kernel dispatch to the
+    /// pool regardless of size (useful in determinism tests and benches).
+    pub fn set_par_threshold(work: usize) {
+        PAR_THRESHOLD.store(work.max(1), Ordering::Relaxed);
+    }
+
+    fn par_threshold() -> usize {
+        match PAR_THRESHOLD.load(Ordering::Relaxed) {
+            0 => {
+                let t = std::env::var("MORPHEUS_PAR_THRESHOLD")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_PAR_THRESHOLD)
+                    .max(1);
+                PAR_THRESHOLD.store(t, Ordering::Relaxed);
+                t
+            }
+            t => t,
+        }
     }
 
     fn detect() -> usize {
@@ -78,8 +131,17 @@ mod tests {
         assert!(Runtime::threads() >= 1);
     }
 
+    #[test]
+    fn should_parallelize_has_a_positive_threshold() {
+        // Whatever the configured threshold, zero work never parallelizes
+        // and astronomically large work always does.
+        assert!(!Runtime::should_parallelize(0));
+        assert!(Runtime::should_parallelize(usize::MAX));
+    }
+
     // One test, not several: set_threads mutates the process-global
-    // worker count, and concurrent #[test]s doing so would race.
+    // worker count (and rebuilds the pool), and concurrent #[test]s doing
+    // so would race.
     #[test]
     fn global_thread_count_rules() {
         Runtime::set_threads(0);
@@ -95,5 +157,17 @@ mod tests {
         }
         // Outside any parallel section the full budget is visible again.
         assert_eq!(Runtime::available(), Runtime::threads());
+
+        // Shrinking and regrowing the pool leaves dispatch working.
+        Runtime::set_threads(1);
+        assert_eq!(
+            Executor::new(4).map(9, |i| i * 2),
+            (0..9).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        Runtime::set_threads(4);
+        assert_eq!(
+            Executor::new(4).map(9, |i| i + 1),
+            (0..9).map(|i| i + 1).collect::<Vec<_>>()
+        );
     }
 }

@@ -1,9 +1,13 @@
 //! Property-based validation of the shared parallel runtime: for random
 //! shapes and worker counts, the band-parallel dense/sparse kernels must
 //! agree with the single-threaded path **bit for bit** (each output
-//! element is accumulated by exactly one worker in the serial order), and
-//! chunk-level parallelism composed over kernel-level parallelism
-//! (oversubscription) must stay deterministic.
+//! element is accumulated by exactly one worker in the serial order), the
+//! two-pass scatter kernels (`t_spmm_dense`, `dense_spmm`, `spgemm`,
+//! `t_spgemm_dense`) must reproduce the serial results — for SpGEMM the
+//! exact CSR structure — and chunk-level parallelism composed over
+//! kernel-level parallelism (oversubscription) must stay deterministic.
+//! Worker counts deliberately exceed the resident pool so dispatch under
+//! oversubscription is exercised too.
 
 use morpheus::chunked::ChunkedMatrix;
 use morpheus::core::LinearOperand;
@@ -85,6 +89,84 @@ proptest! {
     }
 
     #[test]
+    fn parallel_scatter_kernels_bit_identical(
+        rows in 1usize..50,
+        cols in 1usize..15,
+        width in 1usize..8,
+        threads in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        // The scatter kernels run their two-pass symbolic/numeric scheme
+        // only above the work threshold; drop it so these small shapes
+        // exercise the parallel paths (scheduling only — results are
+        // threshold-independent).
+        Runtime::set_par_threshold(1);
+        let s = sparse(rows, cols, seed);
+        let y = mat(rows, width, seed ^ 0x0FF1);
+        let yv = mat(rows, 1, seed ^ 0x2CE);
+        let xd = mat(width, rows, seed ^ 0xC0DE);
+        let b = sparse(cols, (seed % 13) as usize + 1, seed ^ 0x1DEA);
+        let b2 = sparse(rows, width + 2, seed ^ 0xF00D);
+        let serial = Executor::serial();
+        let par = Executor::new(threads);
+        prop_assert_eq!(
+            s.t_spmm_dense_with(&y, &par),
+            s.t_spmm_dense_with(&y, &serial)
+        );
+        prop_assert_eq!(
+            s.t_spmm_dense_with(&yv, &par),
+            s.t_spmm_dense_with(&yv, &serial)
+        );
+        prop_assert_eq!(
+            s.dense_spmm_with(&xd, &par),
+            s.dense_spmm_with(&xd, &serial)
+        );
+        // SpGEMM: the full CSR structure must match, not just the dense
+        // content — exact per-row extents include cancellation drops.
+        let sp_par = s.spgemm_with(&b, &par);
+        let sp_serial = s.spgemm_with(&b, &serial);
+        prop_assert_eq!(sp_par.indptr(), sp_serial.indptr());
+        prop_assert_eq!(sp_par.indices(), sp_serial.indices());
+        prop_assert_eq!(sp_par.values(), sp_serial.values());
+        prop_assert_eq!(
+            s.t_spgemm_dense_with(&b2, &par),
+            s.t_spgemm_dense_with(&b2, &serial)
+        );
+    }
+
+    #[test]
+    fn oversubscribed_scatter_kernels_are_deterministic(
+        rows in 4usize..40,
+        cols in 2usize..10,
+        outer in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Scatter kernels nested inside an outer parallel section: the
+        // outer map claims workers (oversubscribing the pool), the plain
+        // kernel methods inside see the remaining budget — every replica
+        // must still equal the fully serial result bit-for-bit. The
+        // configured worker count is restored afterwards so the CI
+        // thread-mode pins (1 / default / 8) keep governing the rest of
+        // this binary.
+        Runtime::set_par_threshold(1);
+        let configured = Runtime::threads();
+        Runtime::set_threads(4);
+        let s = sparse(rows, cols, seed);
+        let y = mat(rows, 3, seed ^ 0xAB);
+        let b = sparse(cols, 5, seed ^ 0xCD);
+        let t_expect = s.t_spmm_dense_with(&y, &Executor::serial());
+        let sp_expect = s.spgemm_with(&b, &Executor::serial());
+        let replicas = Executor::new(outer).map(outer, |_| (s.t_spmm_dense(&y), s.spgemm(&b)));
+        Runtime::set_threads(configured);
+        for (t, sp) in replicas {
+            prop_assert_eq!(&t, &t_expect);
+            prop_assert_eq!(sp.indptr(), sp_expect.indptr());
+            prop_assert_eq!(sp.indices(), sp_expect.indices());
+            prop_assert_eq!(sp.values(), sp_expect.values());
+        }
+    }
+
+    #[test]
     fn oversubscribed_chunked_over_parallel_dense_is_deterministic(
         rows in 8usize..50,
         cols in 2usize..8,
@@ -95,7 +177,9 @@ proptest! {
         // Chunk-level parallelism claims workers; the parallel dense
         // kernels inside each chunk see the remainder of the global
         // budget. Whatever the split, results must be identical to the
-        // fully serial execution.
+        // fully serial execution. The configured count is restored so the
+        // CI thread-mode pins keep governing the rest of this binary.
+        let configured = Runtime::threads();
         Runtime::set_threads(4);
         let d = mat(rows, cols, seed);
         let m = Matrix::Dense(d.clone());
@@ -103,17 +187,18 @@ proptest! {
         let serial = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(1));
 
         let x = mat(cols, 3, seed ^ 0x5E5E);
-        prop_assert_eq!(nested.lmm(&x), serial.lmm(&x));
-        prop_assert_eq!(
-            LinearOperand::crossprod(&nested),
-            LinearOperand::crossprod(&serial)
-        );
+        let nested_lmm = nested.lmm(&x);
+        let nested_cp = LinearOperand::crossprod(&nested);
+        let nested_lmm2 = nested.lmm(&x);
+        let nested_cp2 = LinearOperand::crossprod(&nested);
+        let serial_lmm = serial.lmm(&x);
+        let serial_cp = LinearOperand::crossprod(&serial);
+        Runtime::set_threads(configured);
+        prop_assert_eq!(&nested_lmm, &serial_lmm);
+        prop_assert_eq!(&nested_cp, &serial_cp);
         // Repeated runs are stable too (no scheduling-dependent results).
-        prop_assert_eq!(nested.lmm(&x), nested.lmm(&x));
-        prop_assert_eq!(
-            LinearOperand::crossprod(&nested),
-            LinearOperand::crossprod(&nested)
-        );
+        prop_assert_eq!(nested_lmm2, nested_lmm);
+        prop_assert_eq!(nested_cp2, nested_cp);
     }
 
     #[test]
