@@ -1,8 +1,12 @@
 //! Criterion benches for the ablations: cross-product Algorithm 1 vs 2,
-//! LMM multiplication orders, and the chunked (ORE-analog) backend.
+//! LMM multiplication orders, the chunked (ORE-analog) backend, and the
+//! cost model's predicted factorized/materialized crossover against the
+//! measured one.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use morpheus_chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus_core::cost::{estimate_op, OpKind};
+use morpheus_core::MachineProfile;
 use morpheus_data::synth::PkFkSpec;
 use morpheus_dense::DenseMatrix;
 use morpheus_ml::logreg::LogisticRegressionGd;
@@ -51,9 +55,108 @@ fn benches(c: &mut Criterion) {
 
 use morpheus_core::LinearOperand;
 
+/// Calibrated-model validation: sweep the tuple ratio at FR = 0.5 (where
+/// the crossprod crossover falls inside the sweep), find the measured TR
+/// at which the factorized cross-product starts beating the materialized
+/// one, and compare with the TR the calibrated cost model predicts. The
+/// planner is only as good as this agreement — the acceptance bar is a
+/// predicted crossover within 2x of the measured one.
+fn planner_crossover(c: &mut Criterion) {
+    let profile = *MachineProfile::global();
+    let trs = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+    let fr = 0.5;
+    // (TR, M/F speed ratio): > 1 means factorized wins at that point.
+    let mut measured: Vec<(f64, f64)> = Vec::new();
+    let mut predicted: Vec<(f64, f64)> = Vec::new();
+    println!("\nablation/planner-crossover: crossprod F-vs-M at FR = {fr} (calibrated model)");
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "TR", "meas F (s)", "meas M (s)", "meas", "pred F (ns)", "pred M (ns)", "pred"
+    );
+    for &tr in &trs {
+        let ds = PkFkSpec::from_ratios(tr, fr, 500, 20, 33).generate();
+        let tn = ds.tn;
+        let tm = tn.materialize();
+        let (t_f, _) = morpheus_bench::timing::time_median(5, || black_box(tn.crossprod()));
+        let (t_m, _) = morpheus_bench::timing::time_median(5, || {
+            black_box(morpheus_core::Matrix::crossprod(&tm))
+        });
+        // Compare the operator alone (T already materialized on the M
+        // side), matching what the timings measure.
+        let est = estimate_op(&profile, &tn, OpKind::Crossprod);
+        measured.push((tr, t_m / t_f));
+        predicted.push((tr, est.materialized_op_ns / est.factorized_ns));
+        println!(
+            "{:>5} {:>12.6} {:>12.6} {:>9} {:>12.0} {:>12.0} {:>9}",
+            tr,
+            t_f,
+            t_m,
+            if t_f < t_m { "F" } else { "M" },
+            est.factorized_ns,
+            est.materialized_op_ns,
+            if est.factorized_ns < est.materialized_op_ns {
+                "F"
+            } else {
+                "M"
+            },
+        );
+    }
+    // The crossover is where the M/F ratio crosses 1.0; interpolate
+    // linearly inside the bracketing segment instead of snapping to the
+    // sweep grid.
+    let crossover = |points: &[(f64, f64)]| -> Option<f64> {
+        points.windows(2).find_map(|w| {
+            let ((tr0, r0), (tr1, r1)) = (w[0], w[1]);
+            ((r0 - 1.0) * (r1 - 1.0) <= 0.0 && r0 != r1)
+                .then(|| tr0 + (tr1 - tr0) * (1.0 - r0) / (r1 - r0))
+        })
+    };
+    // MORPHEUS_CROSSOVER_BAR (e.g. "2.0") turns the acceptance bar into a
+    // hard failure — opt-in, because wall-clock agreement on shared/noisy
+    // runners is not stable enough to gate every CI run on.
+    let bar: Option<f64> = std::env::var("MORPHEUS_CROSSOVER_BAR")
+        .ok()
+        .and_then(|v| v.trim().parse().ok());
+    match (crossover(&measured), crossover(&predicted)) {
+        (Some(m), Some(p)) => {
+            let ratio = if m > p { m / p } else { p / m };
+            println!(
+                "crossover: measured TR = {m:.2}, predicted TR = {p:.2} \
+                 ({ratio:.2}x apart; bar is 2x)"
+            );
+            if let Some(bar) = bar {
+                assert!(
+                    ratio <= bar,
+                    "planner-crossover: predicted/measured crossover {ratio:.2}x apart \
+                     exceeds MORPHEUS_CROSSOVER_BAR={bar}"
+                );
+            }
+        }
+        other => {
+            println!("crossover not bracketed by the sweep: {other:?}");
+            assert!(
+                bar.is_none(),
+                "planner-crossover: MORPHEUS_CROSSOVER_BAR set but the sweep \
+                 did not bracket a crossover: {other:?}"
+            );
+        }
+    }
+
+    // Record the crossover-region endpoints so baselines track them.
+    let ds = PkFkSpec::from_ratios(2.0, fr, 500, 20, 33).generate();
+    let tn = ds.tn;
+    let tm = tn.materialize();
+    let mut g = c.benchmark_group("ablation/planner-crossover");
+    g.bench_function("crossprod-tr2/F", |b| b.iter(|| black_box(tn.crossprod())));
+    g.bench_function("crossprod-tr2/M", |b| {
+        b.iter(|| black_box(morpheus_core::Matrix::crossprod(&tm)))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = ablation;
     config = Criterion::default().sample_size(10);
-    targets = benches
+    targets = benches, planner_crossover
 }
 criterion_main!(ablation);

@@ -4,6 +4,8 @@
 //! paper experiment.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morpheus_core::cost::OpKind;
+use morpheus_core::{MachineProfile, NormalizedMatrix, PlannedMatrix, Strategy};
 use morpheus_dense::DenseMatrix;
 use morpheus_linalg::{eigen_sym, ginv_sym_psd, svd};
 use morpheus_runtime::{Executor, Runtime};
@@ -142,9 +144,48 @@ fn bench_spawn_overhead(c: &mut Criterion) {
     Runtime::set_threads(configured);
 }
 
+/// Cost of one per-operator planning decision (estimate both routes,
+/// compare) next to the *cheapest* kernel the parallelism gate lets onto
+/// the pool (`MORPHEUS_PAR_THRESHOLD` = 2^14 flops by default, a 32x32x16
+/// GEMM here). Planning runs on every LinearOperand call, so its rows
+/// must come in far below the gated-kernel row — otherwise the planner
+/// would tax the small per-part products it exists to route.
+fn bench_planner_overhead(c: &mut Criterion) {
+    // A star join (3 parts) makes the estimate loop do realistic work.
+    let s = DenseMatrix::from_fn(4_000, 8, |i, j| ((i * 5 + j) % 9) as f64 * 0.3 - 1.1);
+    let r1 = DenseMatrix::from_fn(200, 16, |i, j| ((i + j * 3) % 7) as f64 * 0.4 - 1.2);
+    let r2 = DenseMatrix::from_fn(100, 8, |i, j| ((i * 2 + j) % 5) as f64 * 0.6 - 1.5);
+    let fk1: Vec<usize> = (0..4_000).map(|i| (i * 7) % 200).collect();
+    let fk2: Vec<usize> = (0..4_000).map(|i| (i * 3) % 100).collect();
+    let tn = NormalizedMatrix::star(s.into(), vec![(fk1, r1.into()), (fk2, r2.into())]);
+    let planned = PlannedMatrix::with_strategy(tn, Strategy::CostBased)
+        .with_profile(MachineProfile::REFERENCE);
+
+    let mut g = c.benchmark_group("planner_overhead");
+    g.bench_function("plan/lmm", |b| {
+        b.iter(|| black_box(planned.plan(OpKind::Lmm { m: 4 })))
+    });
+    g.bench_function("plan/crossprod", |b| {
+        b.iter(|| black_box(planned.plan(OpKind::Crossprod)))
+    });
+    g.bench_function("plan/ginv", |b| {
+        b.iter(|| black_box(planned.plan(OpKind::Ginv)))
+    });
+    // The comparison row: the smallest kernel that may dispatch to the
+    // pool under the default threshold (2 * 32 * 32 * 16 = 2^15 flops,
+    // right above DEFAULT_PAR_THRESHOLD).
+    let a = dense(32, 32, 7);
+    let b_small = dense(32, 16, 8);
+    g.bench_function("gated-kernel/gemm 32x32x16", |b| {
+        b.iter(|| black_box(a.matmul(&b_small)))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg, bench_spawn_overhead
+    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg, bench_spawn_overhead,
+        bench_planner_overhead
 }
 criterion_main!(benches);

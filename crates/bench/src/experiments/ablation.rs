@@ -125,21 +125,27 @@ pub fn ablation_decision(quick: bool) -> Vec<Row> {
     rows
 }
 
-/// Adaptive execution sanity check exposed to the harness: the rule must
-/// route low-redundancy joins to materialized execution.
+/// Adaptive execution sanity check exposed to the harness: with the
+/// heuristic strategy the planner must route low-redundancy joins to
+/// materialized execution (the old construction-time `AdaptiveMatrix`
+/// behavior, now one strategy of `PlannedMatrix`).
 pub fn adaptive_demo() -> (bool, bool) {
+    use morpheus_core::cost::OpKind;
+    use morpheus_core::{DecisionRule, PlannedMatrix, Strategy};
     let hot = PkFkSpec::from_ratios(20.0, 4.0, 200, 10, 1).generate();
     let cold = PkFkSpec::from_ratios(1.0, 0.25, 200, 12, 1).generate();
-    let a_hot = morpheus_core::AdaptiveMatrix::new(hot.tn);
-    let a_cold = morpheus_core::AdaptiveMatrix::new(cold.tn);
-    (a_hot.is_factorized(), a_cold.is_factorized())
+    let strategy = Strategy::Heuristic(DecisionRule::default());
+    let a_hot = PlannedMatrix::with_strategy(hot.tn, strategy);
+    let a_cold = PlannedMatrix::with_strategy(cold.tn, strategy);
+    let routed = |t: &PlannedMatrix| t.plan(OpKind::Lmm { m: 1 }).expect("factorized repr");
+    (routed(&a_hot).factorized, routed(&a_cold).factorized)
 }
 
 /// Entry point used by `repro ablation-decision` to also demo adaptive
 /// execution.
 pub fn print_adaptive_demo() {
     let (hot, cold) = adaptive_demo();
-    println!("\nAdaptiveMatrix routing: TR=20/FR=4 -> factorized = {hot}; TR=1/FR=0.25 -> factorized = {cold}");
+    println!("\nheuristic planner routing: TR=20/FR=4 -> factorized = {hot}; TR=1/FR=0.25 -> factorized = {cold}");
 }
 
 #[cfg(test)]

@@ -10,6 +10,19 @@
 //!
 //! The cost model is used by tests (validating the rewrites' complexity
 //! claims) and by the `table3` reproduction target.
+//!
+//! On top of the closed forms, [`estimate_op`] converts per-operator
+//! arithmetic counts into *time* estimates using a calibrated
+//! [`MachineProfile`]: each operator's work is decomposed into the kernel
+//! classes it actually executes (blocked dense flops, streaming
+//! element-wise passes, indicator gathers, per-part dispatch), and each
+//! class is priced at its measured rate. This is what the per-operator
+//! planner ([`crate::PlannedMatrix`]) compares — raw flop equality is a
+//! poor crossover predictor precisely because the factorized path leans on
+//! the slower irregular-access kernels, the effect behind the paper's
+//! L-shaped slow-down region (Figure 3) and its conservative τ/ρ rule.
+
+use crate::{MachineProfile, NormalizedMatrix};
 
 /// Dimensions of a two-table PK-FK join, in the paper's notation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,6 +173,406 @@ pub fn ginv_limit_fr(tr: f64) -> f64 {
     14.0 * tr * tr / (1.0 + tr)
 }
 
+// ---------------------------------------------------------------------
+// Time estimates over the unified multi-part representation
+// ---------------------------------------------------------------------
+
+/// One operator of the Table-1 set, as seen by the per-operator planner.
+///
+/// Matrix-multiplication variants carry the parameter width `m` (`d_X` /
+/// `n_X` in the paper's notation) because their cost is linear in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Left matrix multiplication `T X` with an `d x m` parameter.
+    Lmm {
+        /// Parameter columns `m`.
+        m: usize,
+    },
+    /// Transposed left multiplication `Tᵀ X` with an `n x m` parameter.
+    TLmm {
+        /// Parameter columns `m`.
+        m: usize,
+    },
+    /// Right matrix multiplication `X T` with an `m x n` parameter.
+    Rmm {
+        /// Parameter rows `m`.
+        m: usize,
+    },
+    /// `crossprod(T) = Tᵀ T`.
+    Crossprod,
+    /// `tcrossprod(T) = T Tᵀ` (the Gram matrix).
+    Tcrossprod,
+    /// Moore–Penrose pseudo-inverse `ginv(T)`.
+    Ginv,
+    /// `rowSums(T)`.
+    RowSums,
+    /// `colSums(T)`.
+    ColSums,
+    /// `sum(T)`.
+    Sum,
+    /// `rowMin(T)`.
+    RowMin,
+    /// Element-wise scalar operators and maps (`T + x`, `T²`, `exp(T)`, …)
+    /// — the closure ops that stay in the input representation.
+    Elementwise,
+    /// Element-wise combination with a regular matrix of the same shape
+    /// (§3.3.7) — non-factorizable: the "factorized" path materializes
+    /// internally, so only memoized materialization can win.
+    ElementwiseFallback,
+}
+
+impl OpKind {
+    /// Every plannable operator, with a representative parameter width for
+    /// the multiplication variants — the single list "for every op" tests
+    /// iterate, so coverage stays in one place when a variant is added.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::Lmm { m: 2 },
+        OpKind::TLmm { m: 2 },
+        OpKind::Rmm { m: 2 },
+        OpKind::Crossprod,
+        OpKind::Tcrossprod,
+        OpKind::Ginv,
+        OpKind::RowSums,
+        OpKind::ColSums,
+        OpKind::Sum,
+        OpKind::RowMin,
+        OpKind::Elementwise,
+        OpKind::ElementwiseFallback,
+    ];
+}
+
+/// Estimated wall-clock nanoseconds for one operator, both ways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimate {
+    /// Running the factorized rewrite on the normalized representation.
+    pub factorized_ns: f64,
+    /// Running the standard operator on the already-materialized `T`.
+    pub materialized_op_ns: f64,
+    /// Materializing `T` from the normalized representation (paid once;
+    /// the planner amortizes it through its memo).
+    pub materialize_ns: f64,
+}
+
+impl PlanEstimate {
+    /// Total cost of the materialized route: the operator itself plus the
+    /// join materialization unless a memoized `T` already exists.
+    pub fn materialized_total_ns(&self, memoized: bool) -> f64 {
+        self.materialized_op_ns + if memoized { 0.0 } else { self.materialize_ns }
+    }
+}
+
+/// Structural facts of one part, extracted once per estimate.
+struct PartDims {
+    /// Base-table rows `nᵢ`.
+    rows: f64,
+    /// Base-table columns `dᵢ`.
+    cols: f64,
+    /// Stored entries per base-table row (`dᵢ` for dense tables).
+    entries_per_row: f64,
+    /// Whether the base table is dense storage.
+    dense: bool,
+    /// Whether the indicator is the identity.
+    identity: bool,
+}
+
+impl PartDims {
+    /// Stored entries of the base table.
+    fn size(&self) -> f64 {
+        self.rows * self.entries_per_row
+    }
+
+    /// Cost of the dense-or-sparse product `Bᵢ Xᵢ` with `m` parameter
+    /// columns: blocked flops for dense tables, gather-rate fused ops over
+    /// the stored entries for sparse ones.
+    fn product_ns(&self, p: &MachineProfile, m: f64) -> f64 {
+        if self.dense {
+            self.rows * self.cols * m * p.dense_flop_ns
+        } else {
+            self.size() * m * p.gather_ns
+        }
+    }
+}
+
+/// Everything [`estimate_op`] needs about a normalized matrix.
+struct Shape {
+    n: f64,
+    d: f64,
+    parts: Vec<PartDims>,
+    /// Stored entries per logical row of the materialized `T`.
+    entries_per_row: f64,
+    all_dense: bool,
+}
+
+impl Shape {
+    fn of(t: &NormalizedMatrix) -> Shape {
+        let parts: Vec<PartDims> = t
+            .parts()
+            .iter()
+            .map(|part| {
+                let table = part.table();
+                let rows = table.rows().max(1) as f64;
+                let dense = !table.is_sparse();
+                // nnz() is O(1) for CSR but a full scan for dense
+                // storage; planning runs on every operator call, so dense
+                // tables are priced at full width without looking.
+                let entries_per_row = if dense {
+                    table.cols() as f64
+                } else {
+                    table.nnz() as f64 / rows
+                };
+                PartDims {
+                    rows,
+                    cols: table.cols() as f64,
+                    entries_per_row,
+                    dense,
+                    identity: part.indicator().is_identity(),
+                }
+            })
+            .collect();
+        let entries_per_row = parts.iter().map(|p| p.entries_per_row).sum();
+        Shape {
+            n: t.logical_rows() as f64,
+            d: t.d_total() as f64,
+            all_dense: parts.iter().all(|p| p.dense),
+            parts,
+            entries_per_row,
+        }
+    }
+
+    /// The per-fused-op rate of kernels over the materialized `T`: blocked
+    /// dense when every base table is dense (so `T` materializes dense),
+    /// gather-class otherwise.
+    fn mat_flop_ns(&self, p: &MachineProfile) -> f64 {
+        if self.all_dense {
+            p.dense_flop_ns
+        } else {
+            p.gather_ns
+        }
+    }
+
+    /// Stored entries of the materialized `T`.
+    fn mat_size(&self) -> f64 {
+        self.n * self.entries_per_row
+    }
+
+    /// ns to materialize `T`: a row gather per explicit-indicator part, a
+    /// streaming copy for identity parts, plus the horizontal assembly.
+    fn materialize_ns(&self, p: &MachineProfile) -> f64 {
+        let gathered: f64 = self
+            .parts
+            .iter()
+            .map(|part| {
+                let out = self.n * part.entries_per_row;
+                if part.identity {
+                    out * p.ew_ns
+                } else {
+                    out * p.gather_ns
+                }
+            })
+            .sum();
+        gathered + self.mat_size() * p.ew_ns
+    }
+}
+
+/// ns to materialize the join output of `t` — the cost the planner
+/// amortizes across operators through its memoized `T`, and charges to
+/// the materialized route of `dmm` for the operand whose join it would
+/// have to build.
+pub fn materialize_ns(profile: &MachineProfile, t: &NormalizedMatrix) -> f64 {
+    Shape::of(t).materialize_ns(profile)
+}
+
+/// Estimates factorized vs materialized wall-clock time for `op` on `t`,
+/// pricing each kernel class at the profile's calibrated rate.
+///
+/// Transposed inputs are estimated through their appendix-A duals (e.g.
+/// `crossprod(Tᵀ)` costs what `tcrossprod(T)` costs), mirroring how the
+/// rewrites dispatch.
+pub fn estimate_op(profile: &MachineProfile, t: &NormalizedMatrix, op: OpKind) -> PlanEstimate {
+    let op = if t.is_transposed() { dual(op) } else { op };
+    let s = Shape::of(t);
+    let materialize = s.materialize_ns(profile);
+    let (factorized_ns, materialized_op_ns) = match op {
+        OpKind::Lmm { m } => (lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64)),
+        OpKind::TLmm { m } | OpKind::Rmm { m } => {
+            (t_lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64))
+        }
+        OpKind::Crossprod => (crossprod_f(profile, &s), crossprod_m(profile, &s)),
+        OpKind::Tcrossprod => (gram_f(profile, &s), gram_m(profile, &s)),
+        OpKind::Ginv => ginv_both(profile, &s),
+        OpKind::RowSums | OpKind::ColSums | OpKind::Sum => (agg_f(profile, &s), agg_m(profile, &s)),
+        OpKind::RowMin => (
+            agg_f(profile, &s) + s.n * s.parts.len() as f64 * profile.gather_ns,
+            agg_m(profile, &s),
+        ),
+        OpKind::Elementwise => (elementwise_f(profile, &s), elementwise_m(profile, &s)),
+        OpKind::ElementwiseFallback => {
+            // Non-factorizable: the factorized path materializes anyway
+            // (without the benefit of the planner's memo), then streams.
+            let op_ns = elementwise_m(profile, &s);
+            (materialize + op_ns, op_ns)
+        }
+    };
+    PlanEstimate {
+        factorized_ns,
+        materialized_op_ns,
+        materialize_ns: materialize,
+    }
+}
+
+/// The appendix-A dual an operator dispatches to under the transpose flag.
+fn dual(op: OpKind) -> OpKind {
+    match op {
+        OpKind::Lmm { m } => OpKind::TLmm { m },
+        OpKind::TLmm { m } | OpKind::Rmm { m } => OpKind::Lmm { m },
+        OpKind::Crossprod => OpKind::Tcrossprod,
+        OpKind::Tcrossprod => OpKind::Crossprod,
+        OpKind::RowSums => OpKind::ColSums,
+        OpKind::ColSums => OpKind::RowSums,
+        // RowMin on a transposed input materializes; price it as the
+        // fallback class, whose factorized side includes materialization.
+        OpKind::RowMin => OpKind::ElementwiseFallback,
+        other => other,
+    }
+}
+
+fn overhead(profile: &MachineProfile, sections: usize) -> f64 {
+    sections as f64 * profile.op_overhead_ns
+}
+
+/// `T X → Σᵢ Iᵢ (Bᵢ Xᵢ)`: per-part products plus one indicator
+/// application (gather-add, or streaming add for identity parts) each.
+fn lmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let apply = if part.identity {
+                s.n * m * p.ew_ns
+            } else {
+                s.n * m * p.gather_ns
+            };
+            part.product_ns(p, m) + apply
+        })
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+/// `Tᵀ X` / `X T`: pull `X` through each indicator, then the per-part
+/// product — same classes as LMM, applied in the other order.
+fn t_lmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
+    lmm_f(p, s, m)
+}
+
+/// Any matrix multiplication on the materialized `T`: `n · d · m` fused
+/// ops at the materialized-kernel rate.
+fn mm_m(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
+    s.mat_size() * m * s.mat_flop_ns(p)
+}
+
+/// Block-wise `Tᵀ T` (Algorithm 2): symmetric diagonal blocks (half the
+/// flops, after a `diag(colSums(K))^½` row scaling for explicit
+/// indicators) plus one pulled cross block per part pair.
+fn crossprod_f(p: &MachineProfile, s: &Shape) -> f64 {
+    let q = s.parts.len();
+    let mut ns = 0.0;
+    for (i, pi) in s.parts.iter().enumerate() {
+        ns += 0.5 * pi.product_ns(p, pi.cols);
+        if !pi.identity {
+            ns += pi.size() * p.ew_ns; // scale_rows by the reference counts
+        }
+        for pj in &s.parts[i + 1..] {
+            // Pull the smaller side through the indicator, then a dense
+            // product on base-table rows: gather(n · dᵢ) + nⱼ dᵢ dⱼ.
+            let rows = pi.rows.min(pj.rows);
+            ns += s.n * pi.cols.min(pj.cols) * p.gather_ns
+                + rows * pi.cols * pj.cols * p.dense_flop_ns;
+        }
+    }
+    ns + overhead(p, q * (q + 1) / 2)
+}
+
+fn crossprod_m(p: &MachineProfile, s: &Shape) -> f64 {
+    0.5 * s.mat_size() * s.d * s.mat_flop_ns(p)
+}
+
+/// `T Tᵀ = Σᵢ Iᵢ (Bᵢ Bᵢᵀ) Iᵢᵀ`: a per-part Gram product plus two indicator
+/// applications blowing `nᵢ x nᵢ` up to `n x n`, accumulated streaming.
+fn gram_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let gram = 0.5 * part.product_ns(p, part.rows);
+            let blow_up = if part.identity {
+                0.0
+            } else {
+                (s.n * part.rows + s.n * s.n) * p.gather_ns
+            };
+            gram + blow_up + s.n * s.n * p.ew_ns
+        })
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+fn gram_m(p: &MachineProfile, s: &Shape) -> f64 {
+    0.5 * s.n * s.mat_size() * s.mat_flop_ns(p)
+}
+
+/// `ginv(T)` (§3.3.6): an inner pseudo-inverse of the small Gram matrix
+/// (`c·k³` dense work for its eigendecomposition) bracketed by the
+/// factorized (or materialized) crossprod and LMM.
+fn ginv_both(p: &MachineProfile, s: &Shape) -> (f64, f64) {
+    // Constant matching Table 11's ~27 k³ Jacobi-style inner inversion.
+    const INNER: f64 = 27.0;
+    if s.d < s.n {
+        let inner = INNER * s.d * s.d * s.d * p.dense_flop_ns;
+        (
+            crossprod_f(p, s) + inner + lmm_f(p, s, s.d),
+            crossprod_m(p, s) + inner + mm_m(p, s, s.d),
+        )
+    } else {
+        let inner = INNER * s.n * s.n * s.n * p.dense_flop_ns;
+        (
+            gram_f(p, s) + inner + t_lmm_f(p, s, s.n),
+            gram_m(p, s) + inner + mm_m(p, s, s.n),
+        )
+    }
+}
+
+/// Aggregations: one streaming pass per base table plus an `n`-sized
+/// indicator application.
+fn agg_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let apply = if part.identity {
+                s.n * p.ew_ns
+            } else {
+                s.n * p.gather_ns
+            };
+            part.size() * p.ew_ns + apply
+        })
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+fn agg_m(p: &MachineProfile, s: &Shape) -> f64 {
+    s.mat_size() * p.ew_ns
+}
+
+/// Closure scalar ops: one streaming pass over each base table (sparse
+/// tables stream their stored entries).
+fn elementwise_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| part.size() * p.ew_ns)
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+fn elementwise_m(p: &MachineProfile, s: &Shape) -> f64 {
+    s.mat_size() * p.ew_ns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,5 +690,83 @@ mod tests {
         assert_eq!(d.tuple_ratio(), 10.0);
         assert_eq!(d.feature_ratio(), 2.0);
         assert_eq!(d.d(), 6.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Time estimates
+    // ------------------------------------------------------------------
+
+    use morpheus_dense::DenseMatrix;
+
+    fn pkfk(n_s: usize, d_s: usize, n_r: usize, d_r: usize) -> NormalizedMatrix {
+        let s = DenseMatrix::from_fn(n_s, d_s, |i, j| ((i + j) % 7) as f64);
+        let r = DenseMatrix::from_fn(n_r, d_r, |i, j| ((i * d_r + j) % 5) as f64 + 0.5);
+        let fk: Vec<usize> = (0..n_s).map(|i| i % n_r).collect();
+        NormalizedMatrix::pk_fk(s.into(), &fk, r.into())
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite_for_every_op() {
+        let t = pkfk(200, 4, 20, 8);
+        let p = MachineProfile::REFERENCE;
+        for op in OpKind::ALL {
+            let e = estimate_op(&p, &t, op);
+            for v in [e.factorized_ns, e.materialized_op_ns, e.materialize_ns] {
+                assert!(v.is_finite() && v > 0.0, "bad estimate {v} for {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_redundancy_favors_factorized_low_favors_materialized() {
+        let p = MachineProfile::REFERENCE;
+        // TR = 20, FR = 2: deep in the factorized win region.
+        let hot = pkfk(2_000, 10, 100, 20);
+        let e = estimate_op(&p, &hot, OpKind::Crossprod);
+        assert!(e.factorized_ns < e.materialized_total_ns(false));
+        // TR = 1, FR = 0.25: the L-shaped slow-down corner. Once T is
+        // memoized, the materialized route must win the LMM.
+        let cold = pkfk(100, 16, 100, 4);
+        let e = estimate_op(&p, &cold, OpKind::Lmm { m: 2 });
+        assert!(e.factorized_ns > e.materialized_total_ns(true));
+    }
+
+    #[test]
+    fn elementwise_fallback_never_beats_memoized_materialization() {
+        let p = MachineProfile::REFERENCE;
+        for t in [pkfk(500, 4, 50, 8), pkfk(60, 8, 30, 2)] {
+            let e = estimate_op(&p, &t, OpKind::ElementwiseFallback);
+            // F materializes internally, so it can at best tie the
+            // unmemoized materialized route and always loses to a memo.
+            assert!(e.factorized_ns >= e.materialized_total_ns(false));
+            assert!(e.factorized_ns > e.materialized_total_ns(true));
+        }
+    }
+
+    #[test]
+    fn transposed_ops_price_as_their_duals() {
+        let p = MachineProfile::REFERENCE;
+        let t = pkfk(300, 3, 30, 6);
+        let tt = t.transpose();
+        let a = estimate_op(&p, &tt, OpKind::Crossprod);
+        let b = estimate_op(&p, &t, OpKind::Tcrossprod);
+        assert_eq!(a.factorized_ns, b.factorized_ns);
+        assert_eq!(a.materialized_op_ns, b.materialized_op_ns);
+        let a = estimate_op(&p, &tt, OpKind::Lmm { m: 3 });
+        let b = estimate_op(&p, &t, OpKind::TLmm { m: 3 });
+        assert_eq!(a.factorized_ns, b.factorized_ns);
+    }
+
+    #[test]
+    fn crossprod_factorized_advantage_grows_with_tuple_ratio() {
+        let p = MachineProfile::REFERENCE;
+        let low = estimate_op(&p, &pkfk(200, 5, 100, 10), OpKind::Crossprod);
+        let high = estimate_op(&p, &pkfk(2_000, 5, 100, 10), OpKind::Crossprod);
+        let ratio_low = low.materialized_op_ns / low.factorized_ns;
+        let ratio_high = high.materialized_op_ns / high.factorized_ns;
+        assert!(
+            ratio_high > ratio_low,
+            "crossprod speedup should grow with TR: {ratio_low} vs {ratio_high}"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! The heuristic decision rule (§3.7, §5.1) and adaptive execution.
+//! The heuristic decision rule (§3.7, §5.1).
 //!
 //! Factorized execution can *lose* when the join introduces little
 //! redundancy: the extra operator overhead then dominates the redundancy
@@ -6,9 +6,13 @@
 //! (tuple ratio, feature ratio) plane, which motivates the paper's
 //! disjunctive threshold rule with conservatively tuned `τ = 5`, `ρ = 1`:
 //! *do not factorize if `TR < τ` **or** `FR < ρ`*.
+//!
+//! The rule is one of the [`crate::Strategy`] variants of the per-operator
+//! planner ([`crate::PlannedMatrix`]); select it with
+//! `MORPHEUS_STRATEGY=heuristic` to reproduce the paper's construction-time
+//! routing against the cost-based default.
 
-use crate::{LinearOperand, Matrix, NormalizedMatrix};
-use morpheus_dense::DenseMatrix;
+use crate::NormalizedMatrix;
 
 /// The paper's heuristic decision rule with thresholds `τ` (tuple ratio)
 /// and `ρ` (feature ratio).
@@ -47,117 +51,10 @@ impl DecisionRule {
     }
 }
 
-/// A data matrix that applies the [`DecisionRule`] at construction:
-/// factorized when predicted profitable, materialized otherwise.
-///
-/// Implements [`LinearOperand`], so ML algorithms are oblivious to which
-/// path was chosen. Both paths draw their workers from the shared
-/// `morpheus_runtime::Runtime` thread budget — the factorized rewrites
-/// parallelize across parts and inside the dense/sparse kernels, the
-/// materialized path inside the kernels directly — so the §3.7 crossover
-/// the rule models is measured against an equally parallel baseline.
-#[derive(Debug, Clone)]
-pub enum AdaptiveMatrix {
-    /// The rule predicted a factorization win; operate on the normalized
-    /// form.
-    Factorized(NormalizedMatrix),
-    /// The rule predicted a slow-down; the join was materialized up front.
-    Materialized(Matrix),
-}
-
-impl AdaptiveMatrix {
-    /// Applies `rule` to decide the execution strategy for `t`.
-    pub fn with_rule(t: NormalizedMatrix, rule: &DecisionRule) -> Self {
-        if rule.should_factorize(&t) {
-            AdaptiveMatrix::Factorized(t)
-        } else {
-            AdaptiveMatrix::Materialized(t.materialize())
-        }
-    }
-
-    /// Applies the paper's default thresholds (`τ = 5`, `ρ = 1`).
-    pub fn new(t: NormalizedMatrix) -> Self {
-        Self::with_rule(t, &DecisionRule::default())
-    }
-
-    /// `true` when the factorized path was chosen.
-    pub fn is_factorized(&self) -> bool {
-        matches!(self, AdaptiveMatrix::Factorized(_))
-    }
-}
-
-macro_rules! delegate {
-    ($self:ident, $method:ident $(, $arg:expr)*) => {
-        match $self {
-            AdaptiveMatrix::Factorized(t) => t.$method($($arg),*),
-            AdaptiveMatrix::Materialized(t) => t.$method($($arg),*),
-        }
-    };
-}
-
-impl LinearOperand for AdaptiveMatrix {
-    fn nrows(&self) -> usize {
-        delegate!(self, nrows)
-    }
-
-    fn ncols(&self) -> usize {
-        delegate!(self, ncols)
-    }
-
-    fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
-        delegate!(self, lmm, x)
-    }
-
-    fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
-        delegate!(self, t_lmm, x)
-    }
-
-    fn rmm(&self, x: &DenseMatrix) -> DenseMatrix {
-        delegate!(self, rmm, x)
-    }
-
-    fn crossprod(&self) -> DenseMatrix {
-        delegate!(self, crossprod)
-    }
-
-    fn row_sums(&self) -> DenseMatrix {
-        delegate!(self, row_sums)
-    }
-
-    fn col_sums(&self) -> DenseMatrix {
-        delegate!(self, col_sums)
-    }
-
-    fn sum(&self) -> f64 {
-        delegate!(self, sum)
-    }
-
-    fn scale(&self, x: f64) -> Self {
-        match self {
-            AdaptiveMatrix::Factorized(t) => AdaptiveMatrix::Factorized(t.scale(x)),
-            AdaptiveMatrix::Materialized(t) => AdaptiveMatrix::Materialized(t.scale(x)),
-        }
-    }
-
-    fn squared(&self) -> Self {
-        match self {
-            AdaptiveMatrix::Factorized(t) => AdaptiveMatrix::Factorized(t.squared()),
-            AdaptiveMatrix::Materialized(t) => AdaptiveMatrix::Materialized(t.squared()),
-        }
-    }
-
-    fn ginv(&self) -> DenseMatrix {
-        delegate!(self, ginv)
-    }
-
-    fn materialize(&self) -> Matrix {
-        delegate!(self, materialize)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use morpheus_dense::DenseMatrix;
 
     fn with_ratios(tr: usize, dr: usize, ds: usize) -> NormalizedMatrix {
         let nr = 4usize;
@@ -194,31 +91,6 @@ mod tests {
         // FR = 0.5 < 1 → don't factorize, even with TR = 10.
         let t = with_ratios(10, 2, 4);
         assert!(!DecisionRule::default().should_factorize(&t));
-    }
-
-    #[test]
-    fn adaptive_matrix_picks_path_and_stays_correct() {
-        let hot = with_ratios(10, 4, 2);
-        let cold = with_ratios(2, 2, 4);
-        let expect_hot = hot.materialize();
-        let expect_cold = cold.materialize();
-
-        let a_hot = AdaptiveMatrix::new(hot);
-        let a_cold = AdaptiveMatrix::new(cold);
-        assert!(a_hot.is_factorized());
-        assert!(!a_cold.is_factorized());
-
-        let x_hot = DenseMatrix::from_fn(a_hot.ncols(), 1, |i, _| i as f64);
-        assert!(a_hot
-            .lmm(&x_hot)
-            .approx_eq(&expect_hot.matmul_dense(&x_hot), 1e-10));
-        let x_cold = DenseMatrix::from_fn(a_cold.ncols(), 1, |i, _| i as f64);
-        assert!(a_cold
-            .lmm(&x_cold)
-            .approx_eq(&expect_cold.matmul_dense(&x_cold), 1e-10));
-        // scale/squared preserve the chosen path.
-        assert!(a_hot.scale(2.0).is_factorized());
-        assert!(!a_cold.squared().is_factorized());
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub enum CoreError {
     },
     /// A base table referenced by position does not exist.
     NoSuchPart(usize),
+    /// A persisted machine profile could not be parsed (or contained
+    /// non-positive rates). Carries a rendered description because profile
+    /// files are free-form text edited by humans and CI caches.
+    Profile(String),
 }
 
 impl fmt::Display for CoreError {
@@ -83,6 +87,7 @@ impl fmt::Display for CoreError {
                 "part {part}: indicator row {row} is not a single 1.0 entry"
             ),
             CoreError::NoSuchPart(i) => write!(f, "no attribute part at index {i}"),
+            CoreError::Profile(msg) => write!(f, "machine profile: {msg}"),
         }
     }
 }

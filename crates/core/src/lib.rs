@@ -20,10 +20,19 @@
 //! * [`LinearOperand`] — the trait that realizes the closure property in
 //!   Rust: ML algorithms written against it run unchanged on materialized
 //!   matrices, normalized matrices, or any other backend.
-//! * [`DecisionRule`] / [`AdaptiveMatrix`] — the paper's heuristic that
-//!   predicts when factorization would *slow things down* (§3.7, §5.1) and
-//!   falls back to materialized execution.
-//! * [`cost`] — the arithmetic-computation cost model of Table 3 / Table 11.
+//! * [`PlannedMatrix`] — the per-operator cost-based planner: every
+//!   [`LinearOperand`] call is routed factorized or materialized by
+//!   comparing calibrated time estimates, with the materialized join
+//!   memoized so one "materialize" verdict amortizes across later
+//!   operators. [`Strategy`] selects the routing policy
+//!   (`MORPHEUS_STRATEGY`): cost-based, the paper's τ/ρ
+//!   [`DecisionRule`] heuristic (§3.7, §5.1), or the two always-arms.
+//! * [`MachineProfile`] — per-kernel ns/op rates, calibrated lazily by
+//!   microbenchmarks on the resident runtime pool and persistable via
+//!   `MORPHEUS_PROFILE_PATH`.
+//! * [`cost`] — the arithmetic-computation cost model of Table 3 /
+//!   Table 11, extended with per-operator time estimates
+//!   ([`cost::estimate_op`]) over the unified multi-part representation.
 //! * [`MorpheusError`] / [`Result`] — the workspace-wide unified error
 //!   layer: every crate's error converts in with `?`; crates above core
 //!   in the DAG (`lang`, `data`) convert via message-carrying variants.
@@ -51,9 +60,13 @@ mod error;
 mod matrix;
 mod normalized;
 mod ops_trait;
+mod planner;
+mod profile;
 
-pub use decision::{AdaptiveMatrix, DecisionRule};
+pub use decision::DecisionRule;
 pub use error::{CoreError, CoreResult, MorpheusError, Result};
 pub use matrix::Matrix;
 pub use normalized::{AttributePart, Indicator, JoinStats, NormalizedMatrix};
 pub use ops_trait::LinearOperand;
+pub use planner::{Decision, DecisionHook, PlannedMatrix, Strategy, STRATEGY_ENV};
+pub use profile::{MachineProfile, PROFILE_PATH_ENV};

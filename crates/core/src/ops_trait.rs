@@ -8,7 +8,7 @@
 //!
 //! * materialized on a [`Matrix`],
 //! * factorized on a [`crate::NormalizedMatrix`],
-//! * adaptively on an [`crate::AdaptiveMatrix`], or
+//! * per-operator planned on a [`crate::PlannedMatrix`], or
 //! * out-of-core on `morpheus_chunked::ChunkedMatrix`
 //!
 //! without a line changing — the paper's generality and closure desiderata.

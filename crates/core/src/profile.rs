@@ -1,0 +1,269 @@
+//! Per-machine kernel rates: the [`MachineProfile`] behind the cost-based
+//! planner.
+//!
+//! The paper's §3.4 cost model counts arithmetic computations, but the
+//! factorized/materialized crossover it predicts depends on how fast each
+//! *kind* of computation actually runs: cache-blocked dense GEMM sustains
+//! several flops per nanosecond, while the indicator gather-adds inside the
+//! factorized rewrites are irregular-memory operations that run an order of
+//! magnitude slower per element. A profile captures those rates so flop
+//! counts convert into comparable time estimates (see
+//! [`crate::cost::estimate_op`]).
+//!
+//! Rates come from one of three places, in priority order:
+//!
+//! 1. a file named by `MORPHEUS_PROFILE_PATH`, if it exists (so CI and
+//!    repeated test processes skip calibration),
+//! 2. lazy microbenchmark calibration on first use — tiny invocations of
+//!    the real kernels, dispatched on the resident `morpheus-runtime`
+//!    pool so the measured rates match the execution environment the
+//!    planner schedules (written back to `MORPHEUS_PROFILE_PATH` when
+//!    set),
+//! 3. the hard-coded [`MachineProfile::REFERENCE`] rates, used only by
+//!    tests that need deterministic estimates.
+
+use crate::{CoreError, CoreResult};
+use morpheus_dense::DenseMatrix;
+use morpheus_runtime::timing;
+use morpheus_sparse::CsrMatrix;
+use std::sync::OnceLock;
+
+/// Environment variable naming the profile persistence file.
+pub const PROFILE_PATH_ENV: &str = "MORPHEUS_PROFILE_PATH";
+
+/// Calibrated per-kernel rates, in nanoseconds per operation.
+///
+/// The four rates cover the kernel classes the Table-1 operator set is
+/// built from; every cost estimate is a weighted sum of them plus a fixed
+/// per-part dispatch overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// ns per fused multiply-add in cache-blocked dense products
+    /// (GEMM, crossprod).
+    pub dense_flop_ns: f64,
+    /// ns per element in streaming element-wise/aggregation passes over
+    /// dense storage (scalar ops, row/col sums).
+    pub ew_ns: f64,
+    /// ns per gathered element in indicator applications and
+    /// materialization (one-hot SpMM row gathers); also used as the rate
+    /// for general sparse fused ops, which share the irregular-access
+    /// profile.
+    pub gather_ns: f64,
+    /// Fixed ns of overhead per part of a factorized operator: closure
+    /// dispatch on the runtime executor, partial-result assembly.
+    pub op_overhead_ns: f64,
+}
+
+impl MachineProfile {
+    /// Nominal rates of a mid-2020s x86 core (dense ≈ 2 flops/ns blocked
+    /// GEMM, element-wise streaming ≈ 1/ns, gathers ≈ 3 ns each, ~1 µs per
+    /// dispatched part). Used by tests that need deterministic estimates;
+    /// real planning calibrates instead.
+    pub const REFERENCE: MachineProfile = MachineProfile {
+        dense_flop_ns: 0.5,
+        ew_ns: 1.0,
+        gather_ns: 3.0,
+        op_overhead_ns: 1_000.0,
+    };
+
+    /// Measures the four rates with microbenchmarks of the real kernels.
+    ///
+    /// Sizes are chosen so one calibration costs a few milliseconds: large
+    /// enough that per-call overhead is amortized out of the three rate
+    /// measurements, small enough to stay cache-resident and fast. The
+    /// resident pool is warmed first so worker spawns are never measured.
+    pub fn calibrate() -> MachineProfile {
+        timing::warm_pool();
+
+        // Dense rate: 64x64x64 GEMM = 64^3 fused multiply-adds per call
+        // (the profile's unit is ns per fused op, not per flop).
+        let a = DenseMatrix::from_fn(64, 64, |i, j| ((i * 64 + j) % 31) as f64 * 0.07 - 1.0);
+        let b = DenseMatrix::from_fn(64, 64, |i, j| ((i + j * 64) % 29) as f64 * 0.05 - 0.7);
+        let dense_flop_ns = timing::measure_ns_per_op(5, 64 * 64 * 64, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+
+        // Element-wise rate: scalar multiply over 65 536 elements.
+        let m = DenseMatrix::from_fn(256, 256, |i, j| ((i ^ j) % 17) as f64 * 0.11 - 0.9);
+        let ew_ns = timing::measure_ns_per_op(5, 256 * 256, || {
+            std::hint::black_box(m.scalar_mul(1.0001));
+        });
+
+        // Gather rate: one-hot indicator SpMM — 4096 logical rows each
+        // gathering 8 elements from a 512-row base table.
+        let assign: Vec<usize> = (0..4096).map(|i| (i * 7) % 512).collect();
+        let k = CsrMatrix::indicator(&assign, 512);
+        let x = DenseMatrix::from_fn(512, 8, |i, j| ((i * 3 + j) % 13) as f64 * 0.2 - 1.2);
+        let gather_ns = timing::measure_ns_per_op(5, 4096 * 8, || {
+            std::hint::black_box(k.spmm_dense(&x));
+        });
+
+        // Per-part overhead: dispatch of a near-empty two-item section on
+        // the pool, the same shape the per-part rewrite loops use.
+        let ex = morpheus_runtime::Runtime::executor();
+        let op_overhead_ns = timing::measure_ns(20, || {
+            std::hint::black_box(ex.map(2, |i| i as f64));
+        }) / 2.0;
+
+        MachineProfile {
+            dense_flop_ns: dense_flop_ns.max(1e-3),
+            ew_ns: ew_ns.max(1e-3),
+            gather_ns: gather_ns.max(1e-3),
+            op_overhead_ns: op_overhead_ns.max(1.0),
+        }
+    }
+
+    /// The process-wide profile: loaded from `MORPHEUS_PROFILE_PATH` when
+    /// that file exists, otherwise calibrated on first use (and written
+    /// back to the path when one is named). Resolved once per process.
+    pub fn global() -> &'static MachineProfile {
+        static GLOBAL: OnceLock<MachineProfile> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let path = std::env::var(PROFILE_PATH_ENV).ok();
+            if let Some(p) = path.as_deref() {
+                if let Ok(text) = std::fs::read_to_string(p) {
+                    match MachineProfile::from_text(&text) {
+                        Ok(profile) => return profile,
+                        Err(e) => eprintln!("morpheus: ignoring profile at {p}: {e}"),
+                    }
+                }
+            }
+            let profile = MachineProfile::calibrate();
+            if let Some(p) = path.as_deref() {
+                // Persistence is best-effort: a read-only path must not
+                // break planning, so the error is reported, not raised.
+                if let Some(dir) = std::path::Path::new(p).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(p, profile.to_text()) {
+                    eprintln!("morpheus: could not persist profile to {p}: {e}");
+                }
+            }
+            profile
+        })
+    }
+
+    /// Renders the profile in the `key = value` format [`from_text`]
+    /// parses.
+    ///
+    /// [`from_text`]: MachineProfile::from_text
+    pub fn to_text(&self) -> String {
+        format!(
+            "# morpheus machine profile (ns per operation)\n\
+             dense_flop_ns = {}\n\
+             ew_ns = {}\n\
+             gather_ns = {}\n\
+             op_overhead_ns = {}\n",
+            self.dense_flop_ns, self.ew_ns, self.gather_ns, self.op_overhead_ns
+        )
+    }
+
+    /// Parses a persisted profile: `key = value` lines, `#` comments,
+    /// unknown keys ignored (forward compatibility), all four rates
+    /// required and positive.
+    pub fn from_text(text: &str) -> CoreResult<MachineProfile> {
+        let mut rates = [None::<f64>; 4];
+        const KEYS: [&str; 4] = ["dense_flop_ns", "ew_ns", "gather_ns", "op_overhead_ns"];
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(CoreError::Profile(format!("malformed line: {line:?}")));
+            };
+            if let Some(slot) = KEYS.iter().position(|&k| k == key.trim()) {
+                let v: f64 = value.trim().parse().map_err(|_| {
+                    CoreError::Profile(format!("non-numeric value for {}: {value:?}", key.trim()))
+                })?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(CoreError::Profile(format!(
+                        "rate {} must be positive and finite, got {v}",
+                        key.trim()
+                    )));
+                }
+                rates[slot] = Some(v);
+            }
+        }
+        match rates {
+            [Some(dense_flop_ns), Some(ew_ns), Some(gather_ns), Some(op_overhead_ns)] => {
+                Ok(MachineProfile {
+                    dense_flop_ns,
+                    ew_ns,
+                    gather_ns,
+                    op_overhead_ns,
+                })
+            }
+            _ => {
+                let missing: Vec<&str> = KEYS
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(_, r)| r.is_none())
+                    .map(|(&k, _)| k)
+                    .collect();
+                Err(CoreError::Profile(format!(
+                    "missing rate(s): {}",
+                    missing.join(", ")
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let p = MachineProfile {
+            dense_flop_ns: 0.42,
+            ew_ns: 1.25,
+            gather_ns: 2.75,
+            op_overhead_ns: 900.0,
+        };
+        assert_eq!(MachineProfile::from_text(&p.to_text()).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_unknown_keys() {
+        let text = "# a comment\nfuture_rate_ns = 9\n\
+                    dense_flop_ns=0.5\new_ns = 1\ngather_ns = 3\nop_overhead_ns = 1000\n";
+        let p = MachineProfile::from_text(text).unwrap();
+        assert_eq!(p, MachineProfile::REFERENCE);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(matches!(
+            MachineProfile::from_text("dense_flop_ns = fast"),
+            Err(CoreError::Profile(_))
+        ));
+        assert!(matches!(
+            MachineProfile::from_text("dense_flop_ns = 0.5"),
+            Err(CoreError::Profile(msg)) if msg.contains("ew_ns")
+        ));
+        assert!(matches!(
+            MachineProfile::from_text(
+                "dense_flop_ns = -1\new_ns = 1\ngather_ns = 1\nop_overhead_ns = 1"
+            ),
+            Err(CoreError::Profile(_))
+        ));
+        assert!(matches!(
+            MachineProfile::from_text("what is this"),
+            Err(CoreError::Profile(_))
+        ));
+    }
+
+    #[test]
+    fn calibration_produces_positive_rates() {
+        let p = MachineProfile::calibrate();
+        for rate in [p.dense_flop_ns, p.ew_ns, p.gather_ns, p.op_overhead_ns] {
+            assert!(rate.is_finite() && rate > 0.0, "bad calibrated rate {rate}");
+        }
+        // Sanity: a fused GEMM op cannot beat 0.01 ns (no machine this
+        // code runs on does 100 flops/ns scalar) nor take longer than a
+        // millisecond.
+        assert!(p.dense_flop_ns > 0.01 && p.dense_flop_ns < 1e6);
+    }
+}

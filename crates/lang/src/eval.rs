@@ -2,14 +2,17 @@
 //! regular matrices, and normalized matrices.
 //!
 //! The dispatch table in [`eval_bin`] *is* the paper's operator
-//! overloading: when an operand is a [`Value::Normalized`], the factorized
-//! rewrite fires; element-wise ops between a normalized and a regular
-//! matrix fall back to materialization (the non-factorizable case, §3.3.7);
-//! everything else runs on the dense kernels.
+//! overloading: when an operand is a [`Value::Normalized`], the call is
+//! routed through the per-operator planner
+//! ([`morpheus_core::PlannedMatrix`]) — each operator runs factorized or
+//! materialized according to the process-wide `MORPHEUS_STRATEGY`
+//! (cost-based by default); element-wise ops between a normalized and a
+//! regular matrix fall back to materialization (the non-factorizable
+//! case, §3.3.7); everything else runs on the dense kernels.
 
 use crate::ast::{BinOp, Expr, Program, Stmt, UnaryFn};
 use crate::token::LangError;
-use morpheus_core::{LinearOperand, Matrix, NormalizedMatrix};
+use morpheus_core::{LinearOperand, Matrix, PlannedMatrix};
 use morpheus_dense::DenseMatrix;
 use std::collections::HashMap;
 
@@ -20,11 +23,18 @@ pub enum Value {
     Scalar(f64),
     /// A regular dense matrix.
     Dense(DenseMatrix),
-    /// A normalized (factorized) matrix.
-    Normalized(NormalizedMatrix),
+    /// A normalized matrix behind the per-operator planner.
+    Normalized(PlannedMatrix),
 }
 
 impl Value {
+    /// Wraps a normalized (or already planned) matrix as a script value;
+    /// the planner applies the process-wide strategy to every operator the
+    /// script touches it with.
+    pub fn normalized(t: impl Into<PlannedMatrix>) -> Value {
+        Value::Normalized(t.into())
+    }
+
     /// The value as a scalar, if it is one (1x1 matrices coerce).
     pub fn as_scalar(&self) -> Option<f64> {
         match self {
@@ -42,8 +52,8 @@ impl Value {
         }
     }
 
-    /// The value as a normalized matrix, if it is one.
-    pub fn as_normalized(&self) -> Option<&NormalizedMatrix> {
+    /// The value as a planned normalized matrix, if it is one.
+    pub fn as_normalized(&self) -> Option<&PlannedMatrix> {
         match self {
             Value::Normalized(t) => Some(t),
             _ => None,
@@ -384,6 +394,7 @@ fn eval_call(f: UnaryFn, v: Value) -> Result<Value, LangError> {
 mod tests {
     use super::*;
     use crate::parser::{parse, parse_expr};
+    use morpheus_core::NormalizedMatrix;
 
     fn fixture() -> (NormalizedMatrix, DenseMatrix) {
         // Full-column-rank join output (6x5) so pseudo-inverse routes agree.
@@ -436,7 +447,7 @@ mod tests {
             "sum(ginv(T))",
             "sum(t(T) %*% T)",
         ] {
-            let f = eval_with_t(src, Value::Normalized(tn.clone()))
+            let f = eval_with_t(src, Value::normalized(tn.clone()))
                 .as_scalar()
                 .unwrap();
             let m = eval_with_t(src, Value::Dense(td.clone()))
@@ -452,7 +463,7 @@ mod tests {
     #[test]
     fn normalized_scalar_ops_stay_normalized() {
         let (tn, _) = fixture();
-        let v = eval_with_t("exp(2 * T + 1)", Value::Normalized(tn));
+        let v = eval_with_t("exp(2 * T + 1)", Value::normalized(tn));
         assert!(matches!(v, Value::Normalized(_)), "closure lost");
     }
 
@@ -461,7 +472,7 @@ mod tests {
         let (tn, _) = fixture();
         let program = parse("T %*% T").unwrap();
         let mut env = Env::new();
-        env.bind("T", Value::Normalized(tn));
+        env.bind("T", Value::normalized(tn));
         assert!(matches!(
             eval_program(&program, &mut env),
             Err(LangError::Shape(_))
@@ -472,7 +483,7 @@ mod tests {
     fn elementwise_with_regular_matrix_materializes() {
         let (tn, td) = fixture();
         let mut env = Env::new();
-        env.bind("T", Value::Normalized(tn));
+        env.bind("T", Value::normalized(tn));
         env.bind("X", Value::Dense(td.clone()));
         let v = eval_program(&parse("T + X").unwrap(), &mut env).unwrap();
         let expected = td.scalar_mul(2.0);
@@ -501,7 +512,7 @@ mod tests {
         let program = parse(script).unwrap();
 
         let mut env_f = Env::new();
-        env_f.bind("T", Value::Normalized(tn.clone()));
+        env_f.bind("T", Value::normalized(tn.clone()));
         env_f.bind("Y", Value::Dense(y.clone()));
         env_f.bind("a", Value::Scalar(0.05));
         let wf = eval_program(&program, &mut env_f).unwrap();
@@ -531,7 +542,7 @@ mod tests {
         let script = "ginv(crossprod(T)) %*% (t(T) %*% Y)";
         let program = parse(script).unwrap();
         let mut env = Env::new();
-        env.bind("T", Value::Normalized(tn.clone()));
+        env.bind("T", Value::normalized(tn.clone()));
         env.bind("Y", Value::Dense(y.clone()));
         let w = eval_program(&program, &mut env).unwrap();
         let native = morpheus_ml::linreg::LinearRegressionNe::new().fit(&tn, &y);
@@ -548,8 +559,8 @@ mod tests {
         let b = NormalizedMatrix::pk_fk(sb.into(), &[0, 1, 0, 1, 0], rb.into());
         let bd = b.materialize().to_dense();
         let mut env = Env::new();
-        env.bind("A", Value::Normalized(tn));
-        env.bind("B", Value::Normalized(b));
+        env.bind("A", Value::normalized(tn));
+        env.bind("B", Value::normalized(b));
         let v = eval_program(&parse("A %*% B").unwrap(), &mut env).unwrap();
         assert!(v.as_dense().unwrap().approx_eq(&td.matmul(&bd), 1e-9));
     }

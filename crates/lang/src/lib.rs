@@ -14,9 +14,10 @@
 //!
 //! Because evaluation dispatches every operator through the same rewrite
 //! rules as the typed API, *the identical script* runs materialized when
-//! `T` is bound to a regular matrix and factorized when `T` is bound to a
-//! normalized matrix — no changes to the script, the paper's automation
-//! claim.
+//! `T` is bound to a regular matrix and through the per-operator planner
+//! (`morpheus_core::PlannedMatrix`, strategy from `MORPHEUS_STRATEGY`)
+//! when `T` is bound to a normalized matrix — no changes to the script,
+//! the paper's automation claim.
 //!
 //! # Example: the paper's logistic-regression script
 //!
@@ -40,9 +41,9 @@
 //! let tn = NormalizedMatrix::pk_fk(s.into(), &[0, 1, 1, 0], r.into());
 //! let y = DenseMatrix::col_vector(&[1.0, -1.0, 1.0, -1.0]);
 //!
-//! // Factorized: T bound to the normalized matrix.
+//! // Factorized: T bound to the normalized matrix (behind the planner).
 //! let mut env = Env::new();
-//! env.bind("T", Value::Normalized(tn.clone()));
+//! env.bind("T", Value::normalized(tn.clone()));
 //! env.bind("Y", Value::Dense(y.clone()));
 //! env.bind("alpha", Value::Scalar(0.01));
 //! let w_factorized = eval_program(&program, &mut env).unwrap();

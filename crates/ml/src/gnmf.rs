@@ -137,6 +137,16 @@ mod tests {
     }
 
     #[test]
+    fn planned_routing_matches_pure_paths() {
+        let (tn, t) = fixture();
+        let g = Gnmf::new(3, 10);
+        let planned = g.fit(&crate::test_data::planned(&tn));
+        let mm = g.fit(&t);
+        assert!(planned.w.approx_eq(&mm.w, 1e-7));
+        assert!(planned.h.approx_eq(&mm.h, 1e-7));
+    }
+
+    #[test]
     fn factors_stay_nonnegative() {
         let (tn, _) = fixture();
         let m = Gnmf::new(2, 15).fit(&tn);

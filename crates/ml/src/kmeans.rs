@@ -144,6 +144,18 @@ mod tests {
     }
 
     #[test]
+    fn planned_routing_matches_pure_paths() {
+        // K-Means chains closure ops (squared, scale) with LMMs and
+        // aggregations — exactly the mix the per-operator planner routes.
+        let fx = pkfk(60, 3, 8, 3, 41);
+        let km = KMeans::new(4, 10);
+        let planned = km.fit(&crate::test_data::planned(&fx.tn));
+        let mm = km.fit(&fx.t);
+        assert_eq!(planned.assignments, mm.assignments);
+        assert!(planned.centroids.approx_eq(&mm.centroids, 1e-8));
+    }
+
+    #[test]
     fn separated_clusters_are_found() {
         // Two far-apart blobs in a PK-FK layout: R carries the blob offset.
         use morpheus_core::NormalizedMatrix;

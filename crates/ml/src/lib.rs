@@ -7,7 +7,11 @@
 //! the standard single-table algorithm (Algorithms 3, 5, 11, 15, 16);
 //! training on a [`morpheus_core::NormalizedMatrix`] gives the factorized
 //! version (Algorithms 4, 6, 12, 7, 8) — **the code is the same**, the
-//! rewrite rules fire inside the operator calls.
+//! rewrite rules fire inside the operator calls. Training on a
+//! [`morpheus_core::PlannedMatrix`] routes every one of those operator
+//! calls through the per-operator cost-based planner, which is how the
+//! algorithms are meant to be run when the caller does not want to choose
+//! a side up front.
 //!
 //! The algorithms, chosen for diversity as in the paper:
 //!
@@ -33,8 +37,16 @@ pub mod orion;
 pub(crate) mod test_data {
     //! Shared fixtures: a PK-FK normalized matrix with a planted linear
     //! model, used by the algorithm equivalence tests.
-    use morpheus_core::{Matrix, NormalizedMatrix};
+    use morpheus_core::{MachineProfile, Matrix, NormalizedMatrix, PlannedMatrix, Strategy};
     use morpheus_dense::DenseMatrix;
+
+    /// Wraps a normalized matrix behind the cost-based per-operator
+    /// planner with deterministic reference rates — the routing the
+    /// algorithms see in production, made reproducible for tests.
+    pub fn planned(tn: &NormalizedMatrix) -> PlannedMatrix {
+        PlannedMatrix::with_strategy(tn.clone(), Strategy::CostBased)
+            .with_profile(MachineProfile::REFERENCE)
+    }
 
     /// Deterministic pseudo-random stream (splitmix64) — keeps the crate's
     /// unit tests free of external RNG dependencies.

@@ -189,6 +189,18 @@ mod tests {
     }
 
     #[test]
+    fn ne_planned_routing_matches_pure_paths() {
+        // All three data representations — normalized, materialized, and
+        // per-operator planned — must land on the same solution.
+        let fx = pkfk(50, 3, 8, 4, 13);
+        let w_planned = LinearRegressionNe::new().fit(&crate::test_data::planned(&fx.tn), &fx.y);
+        let w_f = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        let w_m = LinearRegressionNe::new().fit(&fx.t, &fx.y);
+        assert!(w_planned.approx_eq(&w_f, 1e-7));
+        assert!(w_planned.approx_eq(&w_m, 1e-7));
+    }
+
+    #[test]
     fn ne_recovers_planted_model() {
         let fx = pkfk(100, 3, 10, 3, 17);
         let w = LinearRegressionNe::new().fit(&fx.tn, &fx.y);

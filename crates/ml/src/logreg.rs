@@ -161,6 +161,19 @@ mod tests {
     }
 
     #[test]
+    fn planned_routing_matches_pure_trajectories() {
+        let fx = pkfk(60, 3, 8, 4, 7);
+        let y = binarize(&fx.y);
+        let trainer = LogisticRegressionGd::new(1e-2, 15);
+        let planned = trainer.fit_traced(&crate::test_data::planned(&fx.tn), &y);
+        let mat = trainer.fit_traced(&fx.t, &y);
+        assert!(planned.w.approx_eq(&mat.w, 1e-9));
+        for (a, b) in planned.loss_trace.iter().zip(&mat.loss_trace) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn loss_decreases() {
         let fx = pkfk(80, 3, 10, 3, 11);
         let y = binarize(&fx.y);

@@ -49,6 +49,7 @@
 mod executor;
 mod pool;
 mod runtime;
+pub mod timing;
 
 pub use executor::Executor;
 pub use runtime::{Runtime, DEFAULT_PAR_THRESHOLD};

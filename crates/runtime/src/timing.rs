@@ -1,0 +1,83 @@
+//! Calibration timing hooks: minimal wall-clock measurement primitives for
+//! code that needs *rates* (ns per operation), not statistics.
+//!
+//! The cost-based planner in `morpheus-core` calibrates a
+//! per-machine profile by timing small kernel invocations. Those kernels
+//! dispatch onto the resident worker pool, so the measured rates reflect
+//! the exact execution environment the planner later schedules — which is
+//! the whole point of calibrating instead of hard-coding constants.
+//! [`warm_pool`] must run first so the one-time pool construction (thread
+//! spawns) never pollutes a measurement.
+
+use crate::Runtime;
+use std::time::Instant;
+
+/// Forces construction of the resident worker pool (and faults in the
+/// thread-budget globals) so subsequent [`measure_ns`] calls time steady
+///-state dispatch, not the one-time worker spawns.
+pub fn warm_pool() {
+    let ex = Runtime::executor();
+    ex.for_each(ex.threads().max(1), |_| {});
+}
+
+/// Wall-clock nanoseconds per call of `f`: the *minimum* over `reps`
+/// timed calls after one warmup call.
+///
+/// The minimum — not the median — because calibration wants the intrinsic
+/// kernel rate: scheduling noise and interrupts only ever add time, so the
+/// fastest observation is the least contaminated one.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn measure_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps >= 1, "measure_ns: need at least one repetition");
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Like [`measure_ns`] but divides by a per-call operation count, returning
+/// ns per operation — the unit machine profiles store.
+///
+/// # Panics
+/// Panics if `reps == 0` or `ops_per_call == 0`.
+pub fn measure_ns_per_op(reps: usize, ops_per_call: usize, f: impl FnMut()) -> f64 {
+    assert!(ops_per_call >= 1, "measure_ns_per_op: zero operation count");
+    measure_ns(reps, f) / ops_per_call as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_ns_counts_calls() {
+        let mut calls = 0usize;
+        let ns = measure_ns(3, || calls += 1);
+        assert_eq!(calls, 4); // 1 warmup + 3 timed
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn per_op_divides() {
+        let mut acc = 0u64;
+        let ns = measure_ns_per_op(2, 1000, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+        });
+        assert!(ns.is_finite());
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn warm_pool_is_idempotent() {
+        warm_pool();
+        warm_pool();
+    }
+}

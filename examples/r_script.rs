@@ -41,7 +41,7 @@ fn main() {
     // Run 1: T bound to the NORMALIZED matrix — every %*% and t() routes
     // through the factorized rewrites.
     let mut env_f = Env::new();
-    env_f.bind("T", Value::Normalized(tn.clone()));
+    env_f.bind("T", Value::normalized(tn.clone()));
     env_f.bind("Y", Value::Dense(y.clone()));
     env_f.bind("alpha", Value::Scalar(1e-4));
     env_f.bind("d", Value::Scalar(d as f64));

@@ -6,9 +6,15 @@
 //! The build container cannot reach crates.io, so the real crate cannot be
 //! fetched. The shim keeps the property-test *sources* unchanged and runs
 //! each property over `cases` deterministically-seeded random inputs
-//! (seeded from the test's module path, so runs are reproducible). It does
-//! **not** implement shrinking — a failing case reports its inputs' seed
-//! index instead.
+//! (seeded from the test's module path, so runs are reproducible).
+//!
+//! Failing cases **shrink**: [`Strategy::shrink`] proposes smaller
+//! candidate inputs (integers bisect toward their range start,
+//! [`collection::vec`] drops elements and shrinks survivors, tuples
+//! shrink one component at a time), and the runner greedily re-runs
+//! candidates until none still fails, reporting the minimal counterexample
+//! via `Debug`. Strategies built with [`Strategy::prop_map`] generate but
+//! do not shrink (the mapping is not invertible without value trees).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -93,14 +99,22 @@ impl TestRng {
 
 /// A generator of random values (mirror of `proptest::strategy::Strategy`).
 ///
-/// Unlike real proptest there is no value tree / shrinking; a strategy just
-/// produces a value per case.
+/// Unlike real proptest there are no value trees; shrinking is a direct
+/// `value -> smaller candidates` proposal instead.
 pub trait Strategy {
     /// The type of value this strategy generates.
     type Value;
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidate values derived from a failing
+    /// `value`, most aggressive first. The default is no candidates
+    /// (unshrinkable), which is also what [`Map`] inherits — the mapping
+    /// closure cannot be inverted without value trees.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Map generated values through `f` (mirror of `Strategy::prop_map`).
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -143,6 +157,26 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 (self.start as u64).wrapping_add(rng.next_u64() % span) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Bisect toward the range start (the "smallest" legal
+                // value): start itself, the midpoint, the predecessor.
+                // Offsets computed in the u64 domain, like generate.
+                let mut out = Vec::new();
+                if *value != self.start {
+                    let dist = (*value as u64).wrapping_sub(self.start as u64);
+                    out.push(self.start);
+                    let mid = (self.start as u64).wrapping_add(dist / 2) as $t;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                    let dec = (*value as u64).wrapping_sub(1) as $t;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -154,35 +188,61 @@ impl_range_strategy!(usize, u64, u32, i64, i32);
 pub trait Arbitrary: Sized {
     /// Generate an unconstrained value of this type.
     fn arbitrary_value(rng: &mut TestRng) -> Self;
-}
 
-impl Arbitrary for u64 {
-    fn arbitrary_value(rng: &mut TestRng) -> u64 {
-        rng.next_u64()
+    /// Propose smaller candidates for a failing value (default: none).
+    fn shrink_value(_value: &Self) -> Vec<Self> {
+        Vec::new()
     }
 }
 
-impl Arbitrary for u32 {
-    fn arbitrary_value(rng: &mut TestRng) -> u32 {
-        rng.next_u64() as u32
-    }
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn shrink_value(value: &$t) -> Vec<$t> {
+                // Toward zero: zero, the halfway point, the predecessor.
+                let mut out = Vec::new();
+                if *value != 0 {
+                    out.push(0);
+                    let half = *value / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let dec = *value - 1;
+                    if dec != 0 && dec != half {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
+        }
+    )*};
 }
 
-impl Arbitrary for usize {
-    fn arbitrary_value(rng: &mut TestRng) -> usize {
-        rng.next_u64() as usize
-    }
-}
+impl_arbitrary_uint!(u64, u32, usize);
 
 impl Arbitrary for bool {
     fn arbitrary_value(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink_value(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary_value(rng: &mut TestRng) -> f64 {
         // Finite, roughly unit-scale values; enough for numeric properties.
+        // Not shrunk: float counterexamples rarely simplify meaningfully
+        // by bisection and exact-equality loops are easy to hit.
         ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
     }
 }
@@ -202,30 +262,147 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary_value(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A:0);
+impl_tuple_strategy!(A:0, B:1);
+impl_tuple_strategy!(A:0, B:1, C:2);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5, G:6);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7);
+
+/// Collection strategies (mirror of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` of `len` values from `elem`, with `len` drawn from `range`
+    /// (mirror of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, range: Range<usize>) -> VecStrategy<S> {
+        assert!(range.start < range.end, "cannot sample empty length range");
+        VecStrategy { elem, range }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        range: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.range.end - self.range.start) as u64;
+            let len = self.range.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.range.start;
+            let mut out = Vec::new();
+            // Shorter first: the minimum-length prefix, the halfway
+            // prefix, then dropping a single trailing element.
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then element-wise shrinks at the surviving length.
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.elem.shrink(v) {
+                    let mut w = value.clone();
+                    w[i] = candidate;
+                    out.push(w);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Pins a case-runner closure's argument type to `S::Value` so the
+/// [`proptest!`] expansion type-checks (closure parameter inference does
+/// not flow backwards into the body). Not part of the mirrored API.
+#[doc(hidden)]
+pub fn bind_runner<S, F>(_strategy: &S, f: F) -> F
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> TestCaseResult,
+{
+    f
+}
+
+/// Greedily minimizes a failing input: repeatedly re-runs the property on
+/// shrink candidates, walking to the first candidate that still fails,
+/// until no candidate fails (or a step bound is hit). Returns the minimal
+/// failing value, its failure message, and the number of successful
+/// shrink steps. Used by the [`proptest!`] runner; public so tests can
+/// exercise shrinking without a failing `#[test]`.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: &mut impl FnMut(&S::Value) -> TestCaseResult,
+) -> (S::Value, String, usize) {
+    const MAX_STEPS: usize = 512;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for candidate in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                value = candidate;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: local minimum
+    }
+    (value, message, steps)
+}
 
 /// Fail the current case unless `cond` holds (mirror of `prop_assert!`).
 #[macro_export]
@@ -278,7 +455,10 @@ macro_rules! prop_assume {
 /// Declare property tests (mirror of the `proptest!` macro).
 ///
 /// Each `#[test] fn name(pat in strategy, ...) { body }` item becomes a
-/// regular `#[test]` that evaluates the body over `cases` generated inputs.
+/// regular `#[test]` that evaluates the body over `cases` generated
+/// inputs; a failing case is shrunk (see [`shrink_failure`]) and the
+/// minimal counterexample is reported. Generated values must therefore be
+/// `Clone` (to re-run candidates) and `Debug` (to report the minimum).
 #[macro_export]
 macro_rules! proptest {
     (@impl $cfg:expr; $(#[test] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
@@ -286,21 +466,33 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let cfg: $crate::ProptestConfig = $cfg;
+                // All argument strategies combine into one tuple strategy,
+                // so generation consumes the RNG in declaration order and
+                // shrinking can vary one argument at a time.
+                let strategy = ($($strat,)+);
+                let mut run = $crate::bind_runner(&strategy, |value| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(value);
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
                 for case in 0..cfg.cases {
                     let mut rng = $crate::TestRng::deterministic(
                         ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
                         case,
                     );
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                    let outcome: $crate::TestCaseResult = (move || {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    let value = $crate::Strategy::generate(&strategy, &mut rng);
+                    match run(&value) {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
                         ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            ::std::panic!("property failed at case {case}: {msg}")
+                            let (minimal, msg, steps) =
+                                $crate::shrink_failure(&strategy, value, msg, &mut run);
+                            ::std::panic!(
+                                "property failed at case {case}: {msg}\n\
+                                 minimal input (after {steps} shrink step(s)): {minimal:?}"
+                            )
                         }
                     }
                 }
@@ -365,5 +557,80 @@ mod tests {
             (0usize..100).generate(&mut a),
             (0usize..100).generate(&mut b)
         );
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_the_minimal_counterexample() {
+        // Property "v < 50" over 0..1000: whatever the original failing
+        // value, greedy bisection must land exactly on 50.
+        let strategy = (0usize..1000,);
+        let mut run = |v: &(usize,)| -> crate::TestCaseResult {
+            if v.0 < 50 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::Fail(format!("{} >= 50", v.0)))
+            }
+        };
+        let (minimal, msg, steps) =
+            crate::shrink_failure(&strategy, (777,), "777 >= 50".into(), &mut run);
+        assert_eq!(minimal, (50,), "expected the boundary counterexample");
+        assert!(msg.contains("50 >= 50"));
+        assert!(steps > 0, "shrinking must have made progress");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_and_elements() {
+        // Property "sum < 100" over vectors of 0..100: shrinking drops
+        // elements and shrinks survivors until a *local* minimum — a
+        // still-failing vector none of whose candidates fails (greedy
+        // shrinking, like real proptest's, does not promise the global
+        // minimum).
+        let strategy = crate::collection::vec(0u64..100, 1..20);
+        let mut run = |v: &Vec<u64>| -> crate::TestCaseResult {
+            if v.iter().sum::<u64>() < 100 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::Fail(format!("sum {:?} >= 100", v)))
+            }
+        };
+        let start: Vec<u64> = vec![30, 40, 50, 60, 70];
+        let (minimal, _, steps) = crate::shrink_failure(&strategy, start, "seed".into(), &mut run);
+        assert!(steps > 0);
+        assert!(
+            minimal.iter().sum::<u64>() >= 100,
+            "minimum must still fail"
+        );
+        assert!(
+            minimal.len() < 5,
+            "length should have shrunk from the original 5: {minimal:?}"
+        );
+        // Local minimum: no candidate of the minimal value still fails.
+        for cand in Strategy::shrink(&strategy, &minimal) {
+            assert!(run(&cand).is_ok(), "not minimal: {cand:?} still fails");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_strategy_respects_length_range(v in crate::collection::vec(0u64..7, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn range_shrink_proposes_smaller_values_only() {
+        let s = 5usize..500;
+        for cand in Strategy::shrink(&s, &300) {
+            assert!((5..300).contains(&cand), "bad candidate {cand}");
+        }
+        assert!(
+            Strategy::shrink(&s, &5).is_empty(),
+            "range start is minimal"
+        );
+        assert!(Strategy::shrink(&any::<bool>(), &false).is_empty());
+        assert_eq!(Strategy::shrink(&any::<bool>(), &true), vec![false]);
     }
 }

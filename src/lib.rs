@@ -77,8 +77,8 @@ pub use morpheus_sparse as sparse;
 pub mod prelude {
     pub use morpheus_chunked::ChunkedMatrix;
     pub use morpheus_core::{
-        AdaptiveMatrix, DecisionRule, LinearOperand, Matrix, MorpheusError, NormalizedMatrix,
-        Result as MorpheusResult,
+        cost::OpKind, Decision, DecisionRule, LinearOperand, MachineProfile, Matrix, MorpheusError,
+        NormalizedMatrix, PlannedMatrix, Result as MorpheusResult, Strategy,
     };
     pub use morpheus_data::synth::{MnJoinSpec, PkFkSpec, StarSpec};
     pub use morpheus_dense::DenseMatrix;

@@ -93,7 +93,8 @@ fn facade_prelude_exposes_the_working_set() {
     let s = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
     let r = DenseMatrix::from_rows(&[&[3.0]]);
     let tn = NormalizedMatrix::pk_fk(s.into(), &[0, 0], r.into());
-    let _adaptive = AdaptiveMatrix::new(tn.clone());
+    let _planned = PlannedMatrix::with_strategy(tn.clone(), Strategy::CostBased)
+        .with_profile(MachineProfile::REFERENCE);
     let _rule = DecisionRule::default();
     let _csr = CsrMatrix::identity(2);
     let _km = KMeans::new(1, 1);
@@ -102,4 +103,76 @@ fn facade_prelude_exposes_the_working_set() {
     let _ne = LinearRegressionNe::new();
     let _gd = LinearRegressionGd::default();
     assert_eq!(tn.rows(), 2);
+}
+
+#[test]
+fn cost_based_planner_agrees_with_brute_force_comparison_on_every_op() {
+    use morpheus::core::cost::estimate_op;
+    let profile = MachineProfile::REFERENCE;
+    // A spread of join shapes: deep factorized win, the L-shaped slow-down
+    // corner, and a middling point.
+    for (tr, fr) in [(20.0, 4.0), (1.0, 0.25), (5.0, 1.0)] {
+        let ds = PkFkSpec::from_ratios(tr, fr, 50, 8, 11).generate();
+        let planned =
+            PlannedMatrix::with_strategy(ds.tn.clone(), Strategy::CostBased).with_profile(profile);
+        for op in OpKind::ALL {
+            let decision = planned.plan(op).expect("factorized repr plans");
+            let est = estimate_op(&profile, &ds.tn, op);
+            let brute_force = est.factorized_ns < est.materialized_total_ns(false);
+            assert_eq!(
+                decision.factorized, brute_force,
+                "planner and brute-force cost comparison disagree \
+                 on {op:?} at TR={tr}, FR={fr}"
+            );
+            assert_eq!(decision.factorized_ns, est.factorized_ns);
+        }
+    }
+}
+
+#[test]
+fn per_op_decisions_diverge_and_stay_bit_identical() {
+    use std::sync::{Arc, Mutex};
+    // TR = 10, FR = 2: the crossprod rewrite is predicted
+    // factorized-profitable while the §3.3.7 element-wise fallback (which
+    // materializes internally either way) routes materialized — two
+    // different paths from one PlannedMatrix, observed via the decision
+    // log.
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 50, 4, 12).generate();
+    let tn = ds.tn;
+    let log: Arc<Mutex<Vec<Decision>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    let planned = PlannedMatrix::with_strategy(tn.clone(), Strategy::CostBased)
+        .with_profile(MachineProfile::REFERENCE)
+        .with_hook(move |d| sink.lock().unwrap().push(*d));
+
+    let cp = planned.crossprod();
+    let x = Matrix::Dense(DenseMatrix::from_fn(tn.rows(), tn.cols(), |i, j| {
+        (i * 31 + j * 17) as f64
+    }));
+    let ew = planned.add_matrix(&x);
+
+    let decisions = log.lock().unwrap().clone();
+    assert_eq!(decisions.len(), 2);
+    assert!(decisions[0].factorized, "crossprod should factorize");
+    assert!(!decisions[1].factorized, "ew fallback should materialize");
+    // Both results bit-identical to the pure path each op was routed to.
+    assert_eq!(cp, tn.crossprod());
+    assert!(ew.approx_eq(&tn.materialize().add(&x), 0.0));
+}
+
+#[test]
+fn heuristic_strategy_reproduces_the_paper_rule_per_op() {
+    let rule = DecisionRule::default();
+    for (tr, fr, seed) in [(20.0, 4.0, 1), (2.0, 0.5, 2), (10.0, 0.5, 3), (2.0, 4.0, 4)] {
+        let ds = PkFkSpec::from_ratios(tr, fr, 40, 6, seed).generate();
+        let expected = rule.should_factorize(&ds.tn);
+        let planned = PlannedMatrix::with_strategy(ds.tn, Strategy::Heuristic(rule));
+        for op in OpKind::ALL {
+            assert_eq!(
+                planned.plan(op).unwrap().factorized,
+                expected,
+                "heuristic must apply the τ/ρ rule uniformly ({op:?}, TR={tr}, FR={fr})"
+            );
+        }
+    }
 }

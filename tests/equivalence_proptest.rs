@@ -6,6 +6,7 @@
 use morpheus::prelude::*;
 use morpheus_core::Matrix;
 use proptest::prelude::*;
+use proptest::Strategy; // shadow the prelude's planner Strategy enum
 
 /// Strategy: a dense PK-FK normalized matrix with bounded dimensions.
 fn arb_pkfk() -> impl Strategy<Value = NormalizedMatrix> {

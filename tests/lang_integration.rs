@@ -31,7 +31,7 @@ fn logistic_regression_script_on_star_schema() {
     let program = optimize(&parse(script).unwrap());
 
     let mut env_f = Env::new();
-    env_f.bind("T", Value::Normalized(ds.tn.clone()));
+    env_f.bind("T", Value::normalized(ds.tn.clone()));
     bind_common(&mut env_f, &y, 0.01, ds.tn.cols());
     let w_script = eval_program(&program, &mut env_f).unwrap();
 
@@ -52,7 +52,7 @@ fn linear_regression_script_on_mn_join() {
     .generate();
     let program = parse("ginv(crossprod(T)) %*% (t(T) %*% Y)").unwrap();
     let mut env = Env::new();
-    env.bind("T", Value::Normalized(ds.tn.clone()));
+    env.bind("T", Value::normalized(ds.tn.clone()));
     env.bind("Y", Value::Dense(ds.y.clone()));
     let w = eval_program(&program, &mut env).unwrap();
     let tm = ds.tn.materialize().to_dense();
@@ -68,7 +68,7 @@ fn aggregation_script_matches_typed_api_on_real_dataset() {
         .generate(0.002, 5);
     let program = parse("sum(rowSums(T)) - sum(colSums(T))").unwrap();
     let mut env = Env::new();
-    env.bind("T", Value::Normalized(ds.tn.clone()));
+    env.bind("T", Value::normalized(ds.tn.clone()));
     let v = eval_program(&program, &mut env).unwrap();
     assert!(v.as_scalar().unwrap().abs() < 1e-6 * ds.tn.sum().abs().max(1.0));
 }
@@ -82,7 +82,7 @@ fn optimizer_preserves_script_semantics_on_matrices() {
     assert!(opt.expr_count() < plain.expr_count());
     for program in [&plain, &opt] {
         let mut env = Env::new();
-        env.bind("T", Value::Normalized(ds.tn.clone()));
+        env.bind("T", Value::normalized(ds.tn.clone()));
         let v = eval_program(program, &mut env)
             .unwrap()
             .as_scalar()
@@ -124,7 +124,7 @@ fn kmeans_script_runs_factorized_and_matches_materialized() {
         env.bind("d", Value::Scalar(d as f64));
         eval_program(&program, &mut env).unwrap()
     };
-    let c_f = run(Value::Normalized(ds.tn.clone()));
+    let c_f = run(Value::normalized(ds.tn.clone()));
     let c_m = run(Value::Dense(ds.tn.materialize().to_dense()));
     let cf = c_f.as_dense().unwrap();
     assert_eq!(cf.shape(), (d, k));
@@ -161,7 +161,7 @@ fn gnmf_script_runs_factorized_and_matches_native() {
         env.bind("eps", Value::Scalar(1e-12));
         eval_program(&program, &mut env).unwrap()
     };
-    let w_f = run(Value::Normalized(tn.clone()));
+    let w_f = run(Value::normalized(tn.clone()));
     let w_m = run(Value::Dense(tn.materialize().to_dense()));
     assert!(w_f
         .as_dense()
@@ -183,6 +183,6 @@ fn script_errors_surface_cleanly() {
     let ds = PkFkSpec::from_ratios(2.0, 1.0, 10, 2, 9).generate();
     let p2 = parse("T %*% T").unwrap();
     let mut env = Env::new();
-    env.bind("T", Value::Normalized(ds.tn));
+    env.bind("T", Value::normalized(ds.tn));
     assert!(eval_program(&p2, &mut env).is_err());
 }

@@ -1,6 +1,6 @@
 //! End-to-end ML integration: the same algorithm code must produce the
 //! same model on every backend — materialized `Matrix`, factorized
-//! `NormalizedMatrix`, rule-driven `AdaptiveMatrix`, and the chunked
+//! `NormalizedMatrix`, the per-operator `PlannedMatrix`, and the chunked
 //! (ORE-analog) backends — across all four paper algorithms.
 
 use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
@@ -12,20 +12,26 @@ use morpheus::ml::logreg::LogisticRegressionGd;
 use morpheus::ml::orion::OrionLogisticRegression;
 use morpheus::prelude::*;
 
+/// Cost-based planner with deterministic reference rates, so the routing
+/// tested here does not depend on the machine running the tests.
+fn planned(tn: &NormalizedMatrix) -> PlannedMatrix {
+    PlannedMatrix::with_strategy(tn.clone(), Strategy::CostBased)
+        .with_profile(MachineProfile::REFERENCE)
+}
+
 fn backends(
     tn: &NormalizedMatrix,
 ) -> (
     Matrix,
-    AdaptiveMatrix,
+    PlannedMatrix,
     ChunkedNormalizedMatrix,
     ChunkedMatrix,
 ) {
     let tm = tn.materialize();
-    let adaptive = AdaptiveMatrix::new(tn.clone());
     let ex = Executor::new(2);
     let cn = ChunkedNormalizedMatrix::from_normalized(tn, 64, ex);
     let cm = ChunkedMatrix::from_matrix(&tm, 64, ex);
-    (tm, adaptive, cn, cm)
+    (tm, planned(tn), cn, cm)
 }
 
 #[test]
@@ -139,18 +145,22 @@ fn orion_and_morpheus_agree_and_beat_chance() {
 }
 
 #[test]
-fn decision_rule_controls_adaptive_path_without_changing_results() {
-    // Low-redundancy join: the adaptive matrix must route to materialized
-    // and still train the same model.
+fn heuristic_strategy_controls_routing_without_changing_results() {
+    // Low-redundancy join: under the paper's τ/ρ rule the planner must
+    // route every operator to materialized and still train the same model.
     let ds = PkFkSpec::from_ratios(2.0, 0.5, 40, 8, 7).generate();
-    let adaptive = AdaptiveMatrix::new(ds.tn.clone());
-    assert!(!adaptive.is_factorized());
+    let heuristic =
+        PlannedMatrix::with_strategy(ds.tn.clone(), Strategy::Heuristic(DecisionRule::default()));
+    let routing = heuristic.plan(OpKind::Lmm { m: 1 }).unwrap();
+    assert!(!routing.factorized, "rule must reject TR=2/FR=0.5");
     let y = ds.labels();
     let trainer = LogisticRegressionGd::new(1e-3, 5);
     assert!(trainer
-        .fit(&adaptive, &y)
+        .fit(&heuristic, &y)
         .w
         .approx_eq(&trainer.fit(&ds.tn, &y).w, 1e-9));
+    // The materialized route was taken: the join is memoized.
+    assert!(heuristic.is_memoized());
 }
 
 #[test]
