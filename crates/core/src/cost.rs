@@ -15,12 +15,21 @@
 //! arithmetic counts into *time* estimates using a calibrated
 //! [`MachineProfile`]: each operator's work is decomposed into the kernel
 //! classes it actually executes (blocked dense flops, streaming
-//! element-wise passes, indicator gathers, per-part dispatch), and each
-//! class is priced at its measured rate. This is what the per-operator
-//! planner ([`crate::PlannedMatrix`]) compares — raw flop equality is a
-//! poor crossover predictor precisely because the factorized path leans on
-//! the slower irregular-access kernels, the effect behind the paper's
-//! L-shaped slow-down region (Figure 3) and its conservative τ/ρ rule.
+//! element-wise passes, sparse-product fused ops, indicator gathers,
+//! per-part dispatch), and each class is priced at its measured rate.
+//! Dense products are priced through the profile's *tier curve* — the
+//! blocked-GEMM rate interpolated at the product's working-set size — so
+//! a DRAM-sized materialized cross-product is charged the slower
+//! out-of-cache rate while the small per-part products of the factorized
+//! rewrite keep the L2 rate; sparse kernels are priced against their
+//! stored entries (nnz), not their logical size. This is what the
+//! per-operator planner ([`crate::PlannedMatrix`]) compares — raw flop
+//! equality is a poor crossover predictor precisely because the
+//! factorized path leans on the slower irregular-access kernels, the
+//! effect behind the paper's L-shaped slow-down region (Figure 3) and its
+//! conservative τ/ρ rule. Double matrix multiplication gets its own
+//! two-operand estimate ([`estimate_dmm`]) following the appendix-C block
+//! form rather than a width-`m` LMM approximation.
 
 use crate::{MachineProfile, NormalizedMatrix};
 
@@ -219,13 +228,23 @@ pub enum OpKind {
     /// (§3.3.7) — non-factorizable: the "factorized" path materializes
     /// internally, so only memoized materialization can win.
     ElementwiseFallback,
+    /// Double matrix multiplication `T₁ T₂` (appendix C) with a right
+    /// operand of width `m`. Through [`estimate_op`] — which only sees the
+    /// left operand — this prices like an LMM of width `m`; the planner's
+    /// actual `dmm` routing uses the two-operand [`estimate_dmm`], which
+    /// prices the appendix-C block rewrite against the left operand's join
+    /// structure.
+    Dmm {
+        /// Right-operand columns `m`.
+        m: usize,
+    },
 }
 
 impl OpKind {
     /// Every plannable operator, with a representative parameter width for
     /// the multiplication variants — the single list "for every op" tests
     /// iterate, so coverage stays in one place when a variant is added.
-    pub const ALL: [OpKind; 12] = [
+    pub const ALL: [OpKind; 13] = [
         OpKind::Lmm { m: 2 },
         OpKind::TLmm { m: 2 },
         OpKind::Rmm { m: 2 },
@@ -238,6 +257,7 @@ impl OpKind {
         OpKind::RowMin,
         OpKind::Elementwise,
         OpKind::ElementwiseFallback,
+        OpKind::Dmm { m: 2 },
     ];
 }
 
@@ -282,14 +302,49 @@ impl PartDims {
     }
 
     /// Cost of the dense-or-sparse product `Bᵢ Xᵢ` with `m` parameter
-    /// columns: blocked flops for dense tables, gather-rate fused ops over
-    /// the stored entries for sparse ones.
+    /// columns: tier-priced blocked flops for dense tables, sparse-rate
+    /// fused ops over the stored entries (nnz-aware) for sparse ones.
     fn product_ns(&self, p: &MachineProfile, m: f64) -> f64 {
         if self.dense {
-            self.rows * self.cols * m * p.dense_flop_ns
+            dense_mm_ns(p, self.rows, self.cols, m)
         } else {
-            self.size() * m * p.gather_ns
+            self.size() * m * p.sparse_ns
         }
+    }
+}
+
+/// ns of a blocked dense product `(rows x k) · (k x m)`: the flop count
+/// priced at the profile's tier rate for the product's working set (all
+/// three operands, 8 bytes per entry) — so cache-resident products run at
+/// the L2 rate and DRAM-sized ones at the streaming rate.
+fn dense_mm_ns(p: &MachineProfile, rows: f64, k: f64, m: f64) -> f64 {
+    let ws = 8.0 * (rows * k + k * m + rows * m);
+    rows * k * m * p.dense_flop_ns(ws)
+}
+
+/// ns of a width-`m` application of an explicit indicator over `n`
+/// logical rows: `m` gathered elements plus the fixed per-row latency
+/// (index lookup, loop overhead) each row pays — the term that makes
+/// narrow (`m = 1`) applications disproportionately expensive.
+fn apply_ns(p: &MachineProfile, n: f64, m: f64) -> f64 {
+    n * (m * p.gather_ns + p.gather_row_ns)
+}
+
+/// ns of the symmetric product of one part's base table: `Bᵀ B` for the
+/// cross-product's diagonal blocks (`out_cols = cols`) or `B Bᵀ` for the
+/// Gram matrix (`out_cols = rows`). Dense tables run the streaming syrk
+/// kernel — half the arithmetic, but at the measured
+/// [`MachineProfile::syrk_factor`] premium over blocked GEMM.
+fn sym_product_ns(p: &MachineProfile, part: &PartDims, gram: bool) -> f64 {
+    let (k, out) = if gram {
+        (part.cols, part.rows)
+    } else {
+        (part.rows, part.cols)
+    };
+    if part.dense {
+        0.5 * dense_mm_ns(p, out, k, out) * p.syrk_factor
+    } else {
+        0.5 * part.size() * out * p.sparse_ns
     }
 }
 
@@ -339,17 +394,6 @@ impl Shape {
         }
     }
 
-    /// The per-fused-op rate of kernels over the materialized `T`: blocked
-    /// dense when every base table is dense (so `T` materializes dense),
-    /// gather-class otherwise.
-    fn mat_flop_ns(&self, p: &MachineProfile) -> f64 {
-        if self.all_dense {
-            p.dense_flop_ns
-        } else {
-            p.gather_ns
-        }
-    }
-
     /// Stored entries of the materialized `T`.
     fn mat_size(&self) -> f64 {
         self.n * self.entries_per_row
@@ -362,11 +406,10 @@ impl Shape {
             .parts
             .iter()
             .map(|part| {
-                let out = self.n * part.entries_per_row;
                 if part.identity {
-                    out * p.ew_ns
+                    self.n * part.entries_per_row * p.ew_ns
                 } else {
-                    out * p.gather_ns
+                    apply_ns(p, self.n, part.entries_per_row)
                 }
             })
             .sum();
@@ -382,6 +425,105 @@ pub fn materialize_ns(profile: &MachineProfile, t: &NormalizedMatrix) -> f64 {
     Shape::of(t).materialize_ns(profile)
 }
 
+/// Estimates factorized vs materialized wall-clock time for the double
+/// matrix multiplication `a · b` (appendix C) — the two-operand
+/// counterpart of [`estimate_op`].
+///
+/// The factorized side prices the appendix-C block rewrite *per part of
+/// the left operand's join*: each of `A`'s base tables multiplies the row
+/// (or column) splits of `B`'s members at its own size and density —
+/// `S_A S_B1` at the entity table's dimensions, `R_A S_B2` at the
+/// attribute table's, the `K_B` splits as nnz-bounded sparse products,
+/// and one indicator application per block — instead of approximating the
+/// whole thing as an LMM of `B`'s width. Operand shapes outside the
+/// appendix-C form (non-PK-FK) price the fallback route the rewrite
+/// actually takes: materialize the smaller operand, multiply through the
+/// survivor's LMM/RMM.
+///
+/// `materialize_ns` covers the **left** operand's join (the one the
+/// planner's memo amortizes); the right operand's materialization, also
+/// needed by the materialized route, is the caller's to add — the planner
+/// charges it exactly when `b` has no memoized join (see
+/// [`materialize_ns`]).
+///
+/// Transposed operands are priced at their untransposed dimensions: the
+/// appendix-C transposed variants are block rewrites with the same kernel
+/// classes and magnitudes as the plain form.
+pub fn estimate_dmm(
+    profile: &MachineProfile,
+    a: &NormalizedMatrix,
+    b: &NormalizedMatrix,
+) -> PlanEstimate {
+    let sa = Shape::of(a);
+    let sb = Shape::of(b);
+    let materialized_op_ns = if sa.all_dense && sb.all_dense {
+        dense_mm_ns(profile, sa.n, sa.d, sb.d)
+    } else {
+        sa.mat_size() * sb.d * profile.sparse_ns
+    };
+    PlanEstimate {
+        factorized_ns: dmm_f(profile, &sa, &sb),
+        materialized_op_ns,
+        materialize_ns: sa.materialize_ns(profile),
+    }
+}
+
+/// `true` when a shape is the two-part PK-FK form appendix C rewrites:
+/// an identity entity part followed by one indicator-mapped attribute
+/// part.
+fn is_pkfk_pair(s: &Shape) -> bool {
+    s.parts.len() == 2 && s.parts[0].identity && !s.parts[1].identity
+}
+
+/// `(rows x k) · part` where the right-hand side is a base table of the
+/// right operand: tier-priced dense flops, or nnz-aware sparse ops.
+fn right_mul_ns(p: &MachineProfile, rows: f64, part: &PartDims) -> f64 {
+    if part.dense {
+        dense_mm_ns(p, rows, part.rows, part.cols)
+    } else {
+        rows * part.size() * p.sparse_ns
+    }
+}
+
+/// Factorized cost of `A B` following the appendix-C block form when both
+/// operands are two-part PK-FK joins, else the materialize-smaller
+/// fallback the rewrite uses.
+fn dmm_f(p: &MachineProfile, sa: &Shape, sb: &Shape) -> f64 {
+    if !(is_pkfk_pair(sa) && is_pkfk_pair(sb)) {
+        // dmm_fallback: materialize the smaller operand, route the other
+        // through its planned RMM/LMM — priced with the matching cost
+        // form (the left-materialized route executes as `b.rmm(T_A)`,
+        // which pays RMM's column-strided pushes, not LMM's row gathers).
+        let (a_sz, b_sz) = (sa.n * sa.d, sb.n * sb.d);
+        return if a_sz <= b_sz {
+            sa.materialize_ns(p) + rmm_f(p, sb, sa.n)
+        } else {
+            sb.materialize_ns(p) + lmm_f(p, sa, sb.d)
+        };
+    }
+    let (ent_a, attr_a) = (&sa.parts[0], &sa.parts[1]);
+    let (ent_b, attr_b) = (&sb.parts[0], &sb.parts[1]);
+    let (d_sb, d_rb) = (ent_b.cols, attr_b.cols);
+    let mut ns = 0.0;
+    // Left block: S_A S_B1 + K_A (R_A S_B2), one gather-apply, one add.
+    ns += ent_a.product_ns(p, d_sb); // S_A · S_B1 (d_SA x d_SB slice)
+    ns += attr_a.product_ns(p, d_sb); // R_A · S_B2 (d_RA x d_SB slice)
+    ns += apply_ns(p, sa.n, d_sb) + sa.n * d_sb * p.ew_ns;
+    // Right block: (S_A K_B1) R_B + K_A ((R_A K_B2) R_B). The K_B row
+    // splits are one-hot, so the products against them cost one
+    // column-strided scatter op per (left row, nnz) pair — the
+    // dense-times-one-hot kernel walks output columns, like RMM's push —
+    // with nnz(K_B1) = d_SA, nnz(K_B2) = d_RA.
+    ns += sa.n * ent_a.cols * p.col_gather_ns; // S_A · K_B1
+    ns += right_mul_ns(p, sa.n, attr_b); // (n_A x n_RB) · R_B
+    ns += attr_a.rows * attr_a.cols * p.col_gather_ns; // R_A · K_B2
+    ns += right_mul_ns(p, attr_a.rows, attr_b); // (n_RA x n_RB) · R_B
+    ns += apply_ns(p, sa.n, d_rb) + sa.n * d_rb * p.ew_ns;
+    // Horizontal assembly of the two blocks.
+    ns += sa.n * (d_sb + d_rb) * p.ew_ns;
+    ns + overhead(p, 2)
+}
+
 /// Estimates factorized vs materialized wall-clock time for `op` on `t`,
 /// pricing each kernel class at the profile's calibrated rate.
 ///
@@ -394,18 +536,20 @@ pub fn estimate_op(profile: &MachineProfile, t: &NormalizedMatrix, op: OpKind) -
     let materialize = s.materialize_ns(profile);
     let (factorized_ns, materialized_op_ns) = match op {
         OpKind::Lmm { m } => (lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64)),
-        OpKind::TLmm { m } | OpKind::Rmm { m } => {
-            (t_lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64))
-        }
+        OpKind::TLmm { m } => (t_lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64)),
+        OpKind::Rmm { m } => (rmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64)),
         OpKind::Crossprod => (crossprod_f(profile, &s), crossprod_m(profile, &s)),
         OpKind::Tcrossprod => (gram_f(profile, &s), gram_m(profile, &s)),
         OpKind::Ginv => ginv_both(profile, &s),
-        OpKind::RowSums | OpKind::ColSums | OpKind::Sum => (agg_f(profile, &s), agg_m(profile, &s)),
-        OpKind::RowMin => (
-            agg_f(profile, &s) + s.n * s.parts.len() as f64 * profile.gather_ns,
-            agg_m(profile, &s),
-        ),
+        OpKind::RowSums => (row_sums_f(profile, &s), agg_m(&s, profile.red_ns)),
+        OpKind::ColSums => (col_sums_f(profile, &s), agg_m(&s, profile.red_ns)),
+        OpKind::Sum => (sum_f(profile, &s), agg_m(&s, profile.sum_ns)),
+        OpKind::RowMin => (row_min_f(profile, &s), agg_m(&s, profile.minmax_ns)),
         OpKind::Elementwise => (elementwise_f(profile, &s), elementwise_m(profile, &s)),
+        // Single-operand approximation: without the right operand's
+        // structure, the per-part products carry its full width `m`. The
+        // planner's dmm() uses [`estimate_dmm`] instead.
+        OpKind::Dmm { m } => (lmm_f(profile, &s, m as f64), mm_m(profile, &s, m as f64)),
         OpKind::ElementwiseFallback => {
             // Non-factorizable: the factorized path materializes anyway
             // (without the benefit of the planner's memo), then streams.
@@ -432,6 +576,9 @@ fn dual(op: OpKind) -> OpKind {
         // RowMin on a transposed input materializes; price it as the
         // fallback class, whose factorized side includes materialization.
         OpKind::RowMin => OpKind::ElementwiseFallback,
+        // The transposed dmm variants (appendix C: AᵀBᵀ, ABᵀ, AᵀB) are
+        // block rewrites with the same kernel classes and flop magnitudes
+        // as the plain form, so they price identically.
         other => other,
     }
 }
@@ -449,7 +596,7 @@ fn lmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
             let apply = if part.identity {
                 s.n * m * p.ew_ns
             } else {
-                s.n * m * p.gather_ns
+                apply_ns(p, s.n, m)
             };
             part.product_ns(p, m) + apply
         })
@@ -457,42 +604,78 @@ fn lmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
         + overhead(p, s.parts.len())
 }
 
-/// `Tᵀ X` / `X T`: pull `X` through each indicator, then the per-part
-/// product — same classes as LMM, applied in the other order.
+/// `Tᵀ X`: pull `X` through each indicator transposed — a *row* gather
+/// over `X` — then the per-part product: the same kernel classes as LMM,
+/// applied in the other order.
 fn t_lmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
     lmm_f(p, s, m)
 }
 
+/// `X T = [(X I₀) B₀ | …]` (RMM): each part pushes `X` through its
+/// indicator from the *right* — a column-strided scatter over `X`'s `n`
+/// columns, priced at the dedicated `col_gather_ns` rate because it walks
+/// row-major storage against the grain (nothing like LMM's row gathers)
+/// — then a dense product at the base-table width.
+fn rmm_f(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let push = if part.identity {
+                s.n * m * p.ew_ns // X passes through unchanged (copy)
+            } else {
+                s.n * m * p.col_gather_ns
+            };
+            push + part.product_ns(p, m)
+        })
+        .sum::<f64>()
+        + s.d * m * p.ew_ns // hstack of the output blocks
+        + overhead(p, s.parts.len())
+}
+
 /// Any matrix multiplication on the materialized `T`: `n · d · m` fused
-/// ops at the materialized-kernel rate.
+/// ops — blocked dense at the tier rate when `T` materializes dense,
+/// nnz-aware sparse ops otherwise.
 fn mm_m(p: &MachineProfile, s: &Shape, m: f64) -> f64 {
-    s.mat_size() * m * s.mat_flop_ns(p)
+    if s.all_dense {
+        dense_mm_ns(p, s.n, s.d, m)
+    } else {
+        s.mat_size() * m * p.sparse_ns
+    }
 }
 
 /// Block-wise `Tᵀ T` (Algorithm 2): symmetric diagonal blocks (half the
-/// flops, after a `diag(colSums(K))^½` row scaling for explicit
-/// indicators) plus one pulled cross block per part pair.
+/// flops at the syrk rate, after a `diag(colSums(K))^½` row scaling for
+/// explicit indicators) plus one pulled cross block per part pair.
 fn crossprod_f(p: &MachineProfile, s: &Shape) -> f64 {
     let q = s.parts.len();
     let mut ns = 0.0;
     for (i, pi) in s.parts.iter().enumerate() {
-        ns += 0.5 * pi.product_ns(p, pi.cols);
+        ns += sym_product_ns(p, pi, false);
         if !pi.identity {
             ns += pi.size() * p.ew_ns; // scale_rows by the reference counts
         }
         for pj in &s.parts[i + 1..] {
-            // Pull the smaller side through the indicator, then a dense
-            // product on base-table rows: gather(n · dᵢ) + nⱼ dᵢ dⱼ.
+            // Pull the left side (its full width — the rewrite pulls the
+            // earlier part, the entity table in a PK-FK join) through the
+            // other indicator transposed, then a transpose-product on
+            // base-table rows: apply(n, dᵢ) + nⱼ dᵢ dⱼ. The t_matmul
+            // kernel is streaming (band-parallel, not cache-blocked), so
+            // it carries the same premium over blocked GEMM as the
+            // symmetric kernels.
             let rows = pi.rows.min(pj.rows);
-            ns += s.n * pi.cols.min(pj.cols) * p.gather_ns
-                + rows * pi.cols * pj.cols * p.dense_flop_ns;
+            ns +=
+                apply_ns(p, s.n, pi.cols) + dense_mm_ns(p, rows, pi.cols, pj.cols) * p.syrk_factor;
         }
     }
     ns + overhead(p, q * (q + 1) / 2)
 }
 
 fn crossprod_m(p: &MachineProfile, s: &Shape) -> f64 {
-    0.5 * s.mat_size() * s.d * s.mat_flop_ns(p)
+    if s.all_dense {
+        0.5 * dense_mm_ns(p, s.d, s.n, s.d) * p.syrk_factor
+    } else {
+        0.5 * s.mat_size() * s.d * p.sparse_ns
+    }
 }
 
 /// `T Tᵀ = Σᵢ Iᵢ (Bᵢ Bᵢᵀ) Iᵢᵀ`: a per-part Gram product plus two indicator
@@ -501,7 +684,7 @@ fn gram_f(p: &MachineProfile, s: &Shape) -> f64 {
     s.parts
         .iter()
         .map(|part| {
-            let gram = 0.5 * part.product_ns(p, part.rows);
+            let gram = sym_product_ns(p, part, true);
             let blow_up = if part.identity {
                 0.0
             } else {
@@ -514,7 +697,11 @@ fn gram_f(p: &MachineProfile, s: &Shape) -> f64 {
 }
 
 fn gram_m(p: &MachineProfile, s: &Shape) -> f64 {
-    0.5 * s.n * s.mat_size() * s.mat_flop_ns(p)
+    if s.all_dense {
+        0.5 * dense_mm_ns(p, s.n, s.d, s.n) * p.syrk_factor
+    } else {
+        0.5 * s.n * s.mat_size() * p.sparse_ns
+    }
 }
 
 /// `ginv(T)` (§3.3.6): an inner pseudo-inverse of the small Gram matrix
@@ -523,14 +710,14 @@ fn gram_m(p: &MachineProfile, s: &Shape) -> f64 {
 fn ginv_both(p: &MachineProfile, s: &Shape) -> (f64, f64) {
     // Constant matching Table 11's ~27 k³ Jacobi-style inner inversion.
     const INNER: f64 = 27.0;
+    let k = s.d.min(s.n);
+    let inner = INNER * k * k * k * p.dense_flop_ns(8.0 * 2.0 * k * k);
     if s.d < s.n {
-        let inner = INNER * s.d * s.d * s.d * p.dense_flop_ns;
         (
             crossprod_f(p, s) + inner + lmm_f(p, s, s.d),
             crossprod_m(p, s) + inner + mm_m(p, s, s.d),
         )
     } else {
-        let inner = INNER * s.n * s.n * s.n * p.dense_flop_ns;
         (
             gram_f(p, s) + inner + t_lmm_f(p, s, s.n),
             gram_m(p, s) + inner + mm_m(p, s, s.n),
@@ -538,25 +725,78 @@ fn ginv_both(p: &MachineProfile, s: &Shape) -> (f64, f64) {
     }
 }
 
-/// Aggregations: one streaming pass per base table plus an `n`-sized
-/// indicator application.
-fn agg_f(p: &MachineProfile, s: &Shape) -> f64 {
+/// `rowSums(T) → Σᵢ Iᵢ rowSums(Bᵢ)`: one read-only reduction pass per
+/// base table, then an `n`-row gather-accumulate of the per-part vectors
+/// through each explicit indicator.
+fn row_sums_f(p: &MachineProfile, s: &Shape) -> f64 {
     s.parts
         .iter()
         .map(|part| {
             let apply = if part.identity {
                 s.n * p.ew_ns
             } else {
-                s.n * p.gather_ns
+                apply_ns(p, s.n, 1.0)
             };
-            part.size() * p.ew_ns + apply
+            part.size() * p.red_ns + apply
         })
         .sum::<f64>()
         + overhead(p, s.parts.len())
 }
 
-fn agg_m(p: &MachineProfile, s: &Shape) -> f64 {
-    s.mat_size() * p.ew_ns
+/// `colSums(T) → [colSums(Iᵢ) Bᵢ]`: the reference counts are one
+/// scattered pass over the indicator's `n` stored entries, the
+/// count-weighted fold one read pass over the base table — **no**
+/// `n`-sized gather at all, which is why factorized column sums win much
+/// earlier than row sums.
+fn col_sums_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let counts = if part.identity {
+                0.0
+            } else {
+                s.n * p.gather_ns
+            };
+            counts + part.size() * p.red_ns
+        })
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+/// `sum(T) → Σᵢ colSums(Iᵢ) · rowSums(Bᵢ)`: per-part vectorized row-sum
+/// passes plus the counts pass and a base-table-rows dot chain —
+/// gather-free like colSums, and crucially *not* the serial
+/// whole-matrix sum chain the materialized route runs.
+fn sum_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| {
+            let counts = if part.identity {
+                part.rows * p.red_ns
+            } else {
+                s.n * p.gather_ns
+            };
+            part.size() * p.red_ns + counts + part.rows * p.sum_ns
+        })
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+/// `rowMin(T)`: per-part min-fold passes, then an assignment-indexed
+/// gather-min per logical row and part.
+fn row_min_f(p: &MachineProfile, s: &Shape) -> f64 {
+    s.parts
+        .iter()
+        .map(|part| part.size() * p.minmax_ns + apply_ns(p, s.n, 1.0))
+        .sum::<f64>()
+        + overhead(p, s.parts.len())
+}
+
+/// An aggregation on the materialized `T`: one reduction pass at the
+/// kernel class's rate (vectorized sums, min folds, or the serial scalar
+/// sum chain).
+fn agg_m(s: &Shape, rate: f64) -> f64 {
+    s.mat_size() * rate
 }
 
 /// Closure scalar ops: one streaming pass over each base table (sparse
@@ -755,6 +995,133 @@ mod tests {
         let a = estimate_op(&p, &tt, OpKind::Lmm { m: 3 });
         let b = estimate_op(&p, &t, OpKind::TLmm { m: 3 });
         assert_eq!(a.factorized_ns, b.factorized_ns);
+    }
+
+    #[test]
+    fn tier_pricing_charges_large_dense_products_a_slower_rate() {
+        // Same flop count, bigger working set ⇒ the per-flop rate (and
+        // with it the estimate per flop) must not be cheaper. A small
+        // crossprod fits L2; one ~64x larger in rows spills.
+        let p = MachineProfile::REFERENCE;
+        let small = Shape::of(&pkfk(400, 8, 40, 8));
+        let large = Shape::of(&pkfk(25_600, 8, 40, 8));
+        let rate = |s: &Shape| crossprod_m(&p, s) / (0.5 * s.n * s.d * s.d * p.syrk_factor);
+        assert!(
+            rate(&large) > rate(&small) * 1.05,
+            "large crossprod must be priced above the L2 rate: {} vs {}",
+            rate(&large),
+            rate(&small)
+        );
+        // And both sit inside the calibrated tier band.
+        for s in [&small, &large] {
+            let r = rate(s);
+            assert!(r >= p.dense_tiers[0].ns && r <= p.dense_tiers[2].ns);
+        }
+    }
+
+    #[test]
+    fn sparse_parts_price_by_nnz_not_logical_size() {
+        use morpheus_sparse::CsrMatrix;
+        let p = MachineProfile::REFERENCE;
+        let n_s = 600;
+        let s = DenseMatrix::from_fn(n_s, 4, |i, j| ((i + j) % 5) as f64);
+        let fk: Vec<usize> = (0..n_s).map(|i| i % 30).collect();
+        let mk_sparse = |nnz_per_row: usize| {
+            let trips: Vec<(usize, usize, f64)> = (0..30)
+                .flat_map(|i| (0..nnz_per_row).map(move |k| (i, (i * 7 + k * 3) % 16, 1.0)))
+                .collect();
+            let r = CsrMatrix::from_triplets(30, 16, &trips).unwrap();
+            NormalizedMatrix::pk_fk(s.clone().into(), &fk, crate::Matrix::Sparse(r))
+        };
+        // 16x the stored entries in the same logical shape ⇒ strictly more
+        // expensive factorized products.
+        let thin = estimate_op(&p, &mk_sparse(1), OpKind::Lmm { m: 4 });
+        let fat = estimate_op(&p, &mk_sparse(16), OpKind::Lmm { m: 4 });
+        assert!(
+            fat.factorized_ns > thin.factorized_ns,
+            "nnz must drive the sparse price: {} vs {}",
+            thin.factorized_ns,
+            fat.factorized_ns
+        );
+    }
+
+    #[test]
+    fn dmm_estimate_is_finite_positive_and_tracks_redundancy() {
+        let p = MachineProfile::REFERENCE;
+        // d_A = 4 + 8 = 12 ⇒ B has 12 rows.
+        let mk_b = || {
+            let sb = DenseMatrix::from_fn(12, 3, |i, j| (i + j) as f64 * 0.25);
+            let rb = DenseMatrix::from_fn(4, 5, |i, j| ((i * 5 + j) % 7) as f64 - 2.0);
+            let fk: Vec<usize> = (0..12).map(|i| i % 4).collect();
+            NormalizedMatrix::pk_fk(sb.into(), &fk, rb.into())
+        };
+        let low = pkfk(60, 4, 60, 8); // TR = 1
+        let high = pkfk(6_000, 4, 60, 8); // TR = 100
+        for a in [&low, &high] {
+            let e = estimate_dmm(&p, a, &mk_b());
+            for v in [e.factorized_ns, e.materialized_op_ns, e.materialize_ns] {
+                assert!(v.is_finite() && v > 0.0, "bad dmm estimate {v}");
+            }
+        }
+        // The factorized advantage must grow with the left tuple ratio —
+        // the attribute-table blocks of appendix C are priced at n_R, not
+        // n_S.
+        let e_low = estimate_dmm(&p, &low, &mk_b());
+        let e_high = estimate_dmm(&p, &high, &mk_b());
+        assert!(
+            e_high.materialized_op_ns / e_high.factorized_ns
+                > e_low.materialized_op_ns / e_low.factorized_ns,
+            "dmm speedup should grow with TR"
+        );
+    }
+
+    #[test]
+    fn dmm_estimate_sees_right_operand_structure_the_lmm_approximation_cannot() {
+        // Two right operands with the same width d_B but different
+        // internal splits: the width-m LMM approximation prices them
+        // identically, the appendix-C form must not — it prices B's
+        // entity/attribute blocks separately against the left join.
+        let p = MachineProfile::REFERENCE;
+        let a = pkfk(5_000, 4, 50, 8); // d_A = 12
+        let mk_b = |d_sb: usize, n_rb: usize| {
+            let d_rb = 16 - d_sb;
+            let sb = DenseMatrix::from_fn(12, d_sb, |i, j| (i + j) as f64 * 0.5);
+            let rb = DenseMatrix::from_fn(n_rb, d_rb, |i, j| (i * 2 + j) as f64);
+            let fk: Vec<usize> = (0..12).map(|i| i % n_rb).collect();
+            NormalizedMatrix::pk_fk(sb.into(), &fk, rb.into())
+        };
+        let (b1, b2) = (mk_b(6, 3), mk_b(2, 9));
+        assert_eq!(b1.cols(), b2.cols());
+        let e1 = estimate_dmm(&p, &a, &b1);
+        let e2 = estimate_dmm(&p, &a, &b2);
+        assert!(
+            (e1.factorized_ns - e2.factorized_ns).abs() > 1e-6,
+            "appendix-C pricing must distinguish B's split: {} == {}",
+            e1.factorized_ns,
+            e2.factorized_ns
+        );
+        // The width-m approximation is blind to the split by construction.
+        let a1 = estimate_op(&p, &a, OpKind::Dmm { m: b1.cols() });
+        let a2 = estimate_op(&p, &a, OpKind::Dmm { m: b2.cols() });
+        assert_eq!(a1.factorized_ns, a2.factorized_ns);
+    }
+
+    #[test]
+    fn dmm_estimate_falls_back_for_non_pkfk_shapes() {
+        let p = MachineProfile::REFERENCE;
+        // An M:N-shaped left operand is outside appendix C.
+        let s = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let r = DenseMatrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64 * 0.5);
+        let a = NormalizedMatrix::mn_join(s.into(), &[0, 1, 2, 0], r.into(), &[0, 1, 1, 0]);
+        let sb = DenseMatrix::from_fn(4, 1, |i, _| i as f64);
+        let rb = DenseMatrix::from_fn(1, 3, |_, j| 2.0 + j as f64);
+        let b = NormalizedMatrix::pk_fk(sb.into(), &[0, 0, 0, 0], rb.into());
+        let e = estimate_dmm(&p, &a, &b);
+        assert!(e.factorized_ns.is_finite() && e.factorized_ns > 0.0);
+        // The fallback materializes the smaller operand, so its price is
+        // at least that materialization.
+        let smaller = materialize_ns(&p, &a).min(materialize_ns(&p, &b));
+        assert!(e.factorized_ns >= smaller);
     }
 
     #[test]

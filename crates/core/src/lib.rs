@@ -27,8 +27,10 @@
 //!   operators. [`Strategy`] selects the routing policy
 //!   (`MORPHEUS_STRATEGY`): cost-based, the paper's τ/ρ
 //!   [`DecisionRule`] heuristic (§3.7, §5.1), or the two always-arms.
-//! * [`MachineProfile`] — per-kernel ns/op rates, calibrated lazily by
-//!   microbenchmarks on the resident runtime pool and persistable via
+//! * [`MachineProfile`] — per-kernel ns/op rates: a size-tiered
+//!   blocked-dense curve (L2/L3/DRAM working sets), streaming, sparse-
+//!   product, and gather rates — calibrated lazily by microbenchmarks on
+//!   the resident runtime pool and persistable (versioned) via
 //!   `MORPHEUS_PROFILE_PATH`.
 //! * [`cost`] — the arithmetic-computation cost model of Table 3 /
 //!   Table 11, extended with per-operator time estimates
@@ -69,4 +71,4 @@ pub use matrix::Matrix;
 pub use normalized::{AttributePart, Indicator, JoinStats, NormalizedMatrix};
 pub use ops_trait::LinearOperand;
 pub use planner::{Decision, DecisionHook, PlannedMatrix, Strategy, STRATEGY_ENV};
-pub use profile::{MachineProfile, PROFILE_PATH_ENV};
+pub use profile::{DenseTier, MachineProfile, PROFILE_FORMAT_VERSION, PROFILE_PATH_ENV};

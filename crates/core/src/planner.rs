@@ -265,21 +265,6 @@ impl PlannedMatrix {
     // ------------------------------------------------------------------
 
     fn plan_for(&self, t: &NormalizedMatrix, op: OpKind) -> Decision {
-        self.plan_with_extra(t, op, 0.0)
-    }
-
-    /// Like [`plan_for`], with `extra_materialized_ns` of additional cost
-    /// charged to the materialized route — used by [`PlannedMatrix::dmm`],
-    /// whose materialized execution must also build the *other* operand's
-    /// join.
-    ///
-    /// [`plan_for`]: PlannedMatrix::plan_for
-    fn plan_with_extra(
-        &self,
-        t: &NormalizedMatrix,
-        op: OpKind,
-        extra_materialized_ns: f64,
-    ) -> Decision {
         match self.strategy {
             Strategy::AlwaysFactorize => Decision {
                 op,
@@ -301,8 +286,7 @@ impl PlannedMatrix {
             },
             Strategy::CostBased => {
                 let est = estimate_op(self.profile.get(), t, op);
-                let materialized_ns =
-                    est.materialized_total_ns(self.memo.get().is_some()) + extra_materialized_ns;
+                let materialized_ns = est.materialized_total_ns(self.memo.get().is_some());
                 Decision {
                     op,
                     factorized_ns: est.factorized_ns,
@@ -535,23 +519,37 @@ impl PlannedMatrix {
     /// Double matrix multiplication `T₁ T₂` (appendix C). The factorized
     /// rewrite is only available while both operands still carry their
     /// normalized form; whether it *fires* is the left operand's strategy
-    /// call, priced as the closest modeled shape — an LMM whose parameter
-    /// is as wide as the right operand, with the right operand's join
+    /// call, priced with the dedicated two-operand appendix-C estimate
+    /// ([`crate::cost::estimate_dmm`]): the block rewrite per part of the
+    /// left operand's join on the factorized side, a full `n·d_A·d_B`
+    /// product on the materialized side — with the right operand's join
     /// materialization charged to the materialized route when its memo is
-    /// empty (a dedicated appendix-C cost form is a ROADMAP item). When
-    /// exactly one side is spent, the multiplication routes through the
-    /// surviving side's planned `lmm`/`rmm` instead of materializing it.
+    /// empty. When exactly one side is spent, the multiplication routes
+    /// through the surviving side's planned `lmm`/`rmm` instead of
+    /// materializing it.
     pub fn dmm(&self, other: &PlannedMatrix) -> Matrix {
         match (&self.repr, &other.repr) {
             (Repr::Factorized(a), Repr::Factorized(b)) => {
-                let extra = if other.is_memoized() {
-                    0.0
-                } else if matches!(self.strategy, Strategy::CostBased) {
-                    crate::cost::materialize_ns(self.profile.get(), b)
+                let op = OpKind::Dmm { m: b.cols() };
+                let decision = if matches!(self.strategy, Strategy::CostBased) {
+                    let profile = self.profile.get();
+                    let est = crate::cost::estimate_dmm(profile, a, b);
+                    let extra = if other.is_memoized() {
+                        0.0
+                    } else {
+                        crate::cost::materialize_ns(profile, b)
+                    };
+                    let materialized_ns =
+                        est.materialized_total_ns(self.memo.get().is_some()) + extra;
+                    Decision {
+                        op,
+                        factorized_ns: est.factorized_ns,
+                        materialized_ns,
+                        factorized: est.factorized_ns < materialized_ns,
+                    }
                 } else {
-                    0.0
+                    self.plan_for(a, op)
                 };
-                let decision = self.plan_with_extra(a, OpKind::Lmm { m: b.cols() }, extra);
                 if let Some(hook) = &self.hook {
                     hook(&decision);
                 }

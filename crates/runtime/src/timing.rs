@@ -51,6 +51,51 @@ pub fn measure_ns_per_op(reps: usize, ops_per_call: usize, f: impl FnMut()) -> f
     measure_ns(reps, f) / ops_per_call as f64
 }
 
+/// Like [`measure_ns`], but stops early once the timed calls have consumed
+/// `budget_ns` of wall clock. At least one timed call (after the warmup)
+/// always runs, so a result is produced even when a single call blows the
+/// budget.
+///
+/// Calibration of the larger working-set tiers uses this: a DRAM-sized
+/// GEMM can take tens of milliseconds per call on a slow machine, and a
+/// fixed repetition count would turn first-use calibration into a
+/// noticeable stall. The budget bounds the cost while letting fast
+/// machines take every repetition.
+///
+/// # Panics
+/// Panics if `max_reps == 0`.
+pub fn measure_ns_budgeted(max_reps: usize, budget_ns: f64, mut f: impl FnMut()) -> f64 {
+    assert!(max_reps >= 1, "measure_ns_budgeted: need at least one rep");
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    for _ in 0..max_reps {
+        let start = Instant::now();
+        f();
+        let t = start.elapsed().as_nanos() as f64;
+        best = best.min(t);
+        spent += t;
+        if spent >= budget_ns {
+            break;
+        }
+    }
+    best
+}
+
+/// [`measure_ns_budgeted`] divided by a per-call operation count.
+///
+/// # Panics
+/// Panics if `max_reps == 0` or `ops_per_call == 0`.
+pub fn measure_ns_per_op_budgeted(
+    max_reps: usize,
+    budget_ns: f64,
+    ops_per_call: usize,
+    f: impl FnMut(),
+) -> f64 {
+    assert!(ops_per_call >= 1, "measure_ns_per_op_budgeted: zero ops");
+    measure_ns_budgeted(max_reps, budget_ns, f) / ops_per_call as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +124,26 @@ mod tests {
     fn warm_pool_is_idempotent() {
         warm_pool();
         warm_pool();
+    }
+
+    #[test]
+    fn budgeted_measure_runs_at_least_once_and_stops_on_budget() {
+        // Zero budget: exactly one timed call (plus the warmup).
+        let mut calls = 0usize;
+        let ns = measure_ns_budgeted(100, 0.0, || calls += 1);
+        assert_eq!(calls, 2, "warmup + one timed call");
+        assert!(ns.is_finite() && ns >= 0.0);
+        // Huge budget: every repetition runs.
+        let mut calls = 0usize;
+        let _ = measure_ns_budgeted(5, 1e15, || calls += 1);
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn budgeted_per_op_divides() {
+        let ns = measure_ns_per_op_budgeted(3, 1e15, 1000, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(ns.is_finite() && ns >= 0.0);
     }
 }

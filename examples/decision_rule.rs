@@ -44,9 +44,15 @@ fn main() {
         rule.tau, rule.rho
     );
     println!(
-        "cost-based: calibrated rates — dense {:.2} ns/flop, elementwise {:.2} ns, \
-         gather {:.2} ns, {:.0} ns/part overhead\n",
-        profile.dense_flop_ns, profile.ew_ns, profile.gather_ns, profile.op_overhead_ns
+        "cost-based: calibrated rates — dense {:.2}/{:.2}/{:.2} ns/flop (L2/L3/DRAM tiers), \
+         elementwise {:.2} ns, sparse {:.2} ns, gather {:.2} ns, {:.0} ns/part overhead\n",
+        profile.dense_tiers[0].ns,
+        profile.dense_tiers[1].ns,
+        profile.dense_tiers[2].ns,
+        profile.ew_ns,
+        profile.sparse_ns,
+        profile.gather_ns,
+        profile.op_overhead_ns
     );
     println!(
         "{:>6} {:>6} {:>12} {:>12} {:>9} | {:>9} | {:>8} {:>9} {:>8} {:>7}",

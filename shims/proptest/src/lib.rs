@@ -13,12 +13,26 @@
 //! [`collection::vec`] drops elements and shrinks survivors, tuples
 //! shrink one component at a time), and the runner greedily re-runs
 //! candidates until none still fails, reporting the minimal counterexample
-//! via `Debug`. Strategies built with [`Strategy::prop_map`] generate but
-//! do not shrink (the mapping is not invertible without value trees).
+//! via `Debug`.
+//!
+//! Strategies built with [`Strategy::prop_map`] shrink too, without value
+//! trees: [`Map`] remembers the *input* that produced each generated
+//! output, shrinks that input, and re-maps the shrunk inputs through the
+//! mapping closure. The runner tells the strategy which shrink candidate
+//! it accepted ([`Strategy::picked`]) so the remembered input tracks the
+//! walk; tuples and [`collection::vec`] route the notification to the
+//! component that produced the accepted candidate. One documented
+//! limitation remains: a `prop_map` used as the *element* of
+//! `collection::vec` shares a single remembered input across all
+//! elements, so element-wise shrinks of such vectors are approximate
+//! (still valid values of the strategy, just not minimal) — mapped
+//! strategies at test-argument position, the only shape this workspace
+//! uses, shrink exactly.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
 use std::ops::Range;
 
 /// Re-exports mirroring `proptest::prelude::*`.
@@ -110,11 +124,18 @@ pub trait Strategy {
 
     /// Propose strictly "smaller" candidate values derived from a failing
     /// `value`, most aggressive first. The default is no candidates
-    /// (unshrinkable), which is also what [`Map`] inherits — the mapping
-    /// closure cannot be inverted without value trees.
+    /// (unshrinkable).
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
     }
+
+    /// Notification from the shrink runner that candidate `idx` of the
+    /// most recent [`shrink`](Strategy::shrink)`(value)` call still fails
+    /// and becomes the new current value. Stateless strategies ignore it;
+    /// [`Map`] uses it to move its remembered pre-mapping input along the
+    /// shrink walk, and composite strategies route it to the component
+    /// whose candidate was accepted.
+    fn picked(&self, _value: &Self::Value, _idx: usize) {}
 
     /// Map generated values through `f` (mirror of `Strategy::prop_map`).
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -122,26 +143,97 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> T,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            state: RefCell::new(MapState {
+                current: None,
+                candidates: Vec::new(),
+            }),
+        }
     }
 }
 
-/// Strategy adapter produced by [`Strategy::prop_map`].
-#[derive(Debug, Clone)]
-pub struct Map<S, F> {
+/// Remembered pre-mapping inputs of a [`Map`]: the input that produced
+/// the current (possibly already-shrunk) output, and the inputs behind
+/// the candidates proposed by the latest `shrink` call.
+#[derive(Clone)]
+struct MapState<V> {
+    current: Option<V>,
+    candidates: Vec<V>,
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`]. Shrinkable: the
+/// generated *input* is remembered, shrunk through the inner strategy,
+/// and re-mapped through the closure (see the module docs for the one
+/// `collection::vec`-element caveat).
+pub struct Map<S: Strategy, F> {
     inner: S,
     f: F,
+    state: RefCell<MapState<S::Value>>,
+}
+
+impl<S, F> Clone for Map<S, F>
+where
+    S: Strategy + Clone,
+    S::Value: Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+            state: RefCell::new(self.state.borrow().clone()),
+        }
+    }
+}
+
+impl<S: Strategy, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
 }
 
 impl<S, F, T> Strategy for Map<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(S::Value) -> T,
 {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
-        (self.f)(self.inner.generate(rng))
+        let input = self.inner.generate(rng);
+        self.state.borrow_mut().current = Some(input.clone());
+        (self.f)(input)
+    }
+
+    fn shrink(&self, _value: &T) -> Vec<T> {
+        // The output cannot be un-mapped; shrink the remembered input
+        // instead and push the shrunk inputs back through the closure.
+        let current = match self.state.borrow().current.clone() {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let inputs = self.inner.shrink(&current);
+        let out = inputs.iter().cloned().map(|v| (self.f)(v)).collect();
+        self.state.borrow_mut().candidates = inputs;
+        out
+    }
+
+    fn picked(&self, _value: &T, idx: usize) {
+        let mut st = self.state.borrow_mut();
+        if let Some(input) = st.candidates.get(idx).cloned() {
+            // Chained maps: the inner strategy proposed `candidates` from
+            // its own remembered state in 1:1 index order, so the
+            // notification forwards unchanged.
+            let prev = st.current.clone();
+            st.current = Some(input);
+            drop(st);
+            if let Some(prev) = prev {
+                self.inner.picked(&prev, idx);
+            }
+        }
     }
 }
 
@@ -292,6 +384,22 @@ macro_rules! impl_tuple_strategy {
                 )+
                 out
             }
+
+            fn picked(&self, value: &Self::Value, idx: usize) {
+                // Route the notification to the component whose candidate
+                // was accepted: recount each component's (deterministic)
+                // candidate list in the same order `shrink` emitted them.
+                let mut rem = idx;
+                $(
+                    let n = self.$idx.shrink(&value.$idx).len();
+                    if rem < n {
+                        self.$idx.picked(&value.$idx, rem);
+                        return;
+                    }
+                    rem -= n;
+                )+
+                let _ = rem;
+            }
         }
     };
 }
@@ -361,6 +469,36 @@ pub mod collection {
             }
             out
         }
+
+        fn picked(&self, value: &Vec<S::Value>, idx: usize) {
+            // Mirror `shrink`'s candidate order: the (up to three) prefix
+            // drops first — which need no notification — then the
+            // element-wise candidates, routed to the element strategy.
+            let min = self.range.start;
+            let mut prefix = 0;
+            if value.len() > min {
+                prefix += 1;
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    prefix += 1;
+                }
+                if value.len() - 1 != half {
+                    prefix += 1;
+                }
+            }
+            if idx < prefix {
+                return;
+            }
+            let mut rem = idx - prefix;
+            for v in value.iter() {
+                let n = self.elem.shrink(v).len();
+                if rem < n {
+                    self.elem.picked(v, rem);
+                    return;
+                }
+                rem -= n;
+            }
+        }
     }
 }
 
@@ -391,8 +529,11 @@ pub fn shrink_failure<S: Strategy>(
     const MAX_STEPS: usize = 512;
     let mut steps = 0;
     'outer: while steps < MAX_STEPS {
-        for candidate in strategy.shrink(&value) {
+        for (idx, candidate) in strategy.shrink(&value).into_iter().enumerate() {
             if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                // Tell stateful strategies (prop_map) which candidate the
+                // walk accepted, so their remembered inputs follow.
+                strategy.picked(&value, idx);
                 value = candidate;
                 message = msg;
                 steps += 1;
@@ -618,6 +759,87 @@ mod tests {
             prop_assert!((2..6).contains(&v.len()));
             prop_assert!(v.iter().all(|&x| x < 7));
         }
+    }
+
+    /// Generate with the macro's per-case RNG until `run` fails, then
+    /// shrink — the exact walk the `proptest!` runner performs.
+    fn fail_then_shrink<S: crate::Strategy>(
+        strategy: &S,
+        run: &mut impl FnMut(&S::Value) -> crate::TestCaseResult,
+    ) -> S::Value
+    where
+        S::Value: Clone,
+    {
+        for case in 0..10_000 {
+            let mut rng = TestRng::deterministic("fail_then_shrink", case);
+            let value = crate::Strategy::generate(strategy, &mut rng);
+            if let Err(crate::TestCaseError::Fail(msg)) = run(&value) {
+                let (minimal, _, _) = crate::shrink_failure(strategy, value, msg, run);
+                return minimal;
+            }
+        }
+        panic!("no failing case generated");
+    }
+
+    #[test]
+    fn mapped_range_failure_shrinks_to_the_minimal_counterexample() {
+        // Property "v < 100" over (1..1000).prop_map(|x| x * 2): shrinking
+        // must bisect the pre-mapping *input* toward the boundary input 50
+        // and re-map it, landing exactly on the minimal counterexample
+        // 100. Before the picked-protocol, prop_map outputs were
+        // unshrinkable and the original (possibly huge) value was
+        // reported.
+        let strategy = (1usize..1000).prop_map(|x| x * 2);
+        let mut run = |v: &usize| -> crate::TestCaseResult {
+            if *v < 100 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::Fail(format!("{v} >= 100")))
+            }
+        };
+        let minimal = fail_then_shrink(&strategy, &mut run);
+        assert_eq!(minimal, 100, "expected the mapped boundary");
+    }
+
+    #[test]
+    fn chained_maps_shrink_through_both_closures() {
+        // ((0..500) + 1) * 3 with property "v < 30": the minimal failing
+        // input is 9, mapping to exactly 30.
+        let strategy = (0usize..500).prop_map(|x| x + 1).prop_map(|x| x * 3);
+        let mut run = |v: &usize| -> crate::TestCaseResult {
+            if *v < 30 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::Fail(format!("{v} >= 30")))
+            }
+        };
+        let minimal = fail_then_shrink(&strategy, &mut run);
+        assert_eq!(minimal, 30);
+    }
+
+    #[test]
+    fn mapped_component_inside_a_tuple_shrinks_with_routing() {
+        // The proptest! macro always wraps arguments in a tuple; the
+        // accepted-candidate notification must route through the tuple to
+        // the mapped component — and the unmapped component must shrink to
+        // its own minimum independently.
+        let strategy = ((1usize..1000).prop_map(|x| x * 2), 0u64..8);
+        let mut run = |v: &(usize, u64)| -> crate::TestCaseResult {
+            if v.0 < 100 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::Fail(format!("{} >= 100", v.0)))
+            }
+        };
+        let minimal = fail_then_shrink(&strategy, &mut run);
+        assert_eq!(minimal, (100, 0));
+    }
+
+    #[test]
+    fn mapped_shrink_without_a_generated_input_proposes_nothing() {
+        // A Map that never generated has no remembered input to shrink.
+        let strategy = (1usize..10).prop_map(|x| x * 2);
+        assert!(crate::Strategy::shrink(&strategy, &8).is_empty());
     }
 
     #[test]

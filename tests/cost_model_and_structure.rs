@@ -160,6 +160,143 @@ fn per_op_decisions_diverge_and_stay_bit_identical() {
     assert!(ew.approx_eq(&tn.materialize().add(&x), 0.0));
 }
 
+// ---------------------------------------------------------------------
+// Property tests for the cost layer: the estimates must be well-formed
+// (finite, positive), monotone in problem size, and the planner must
+// agree with a brute-force estimate comparison — over *randomized* join
+// shapes and sparsity, not just hand-picked points.
+// ---------------------------------------------------------------------
+
+// Selective proptest imports (no prelude glob): the prelude's `Strategy`
+// trait would collide with the planner's `Strategy` enum used above.
+use morpheus::core::cost::{estimate_dmm, estimate_op, materialize_ns, OpKind as Op};
+use proptest::{prop_assert, proptest, ProptestConfig};
+
+/// A dense-S PK-FK join whose attribute table is dense or (when
+/// `nnz_per_row` is `Some`) sparse with that many stored entries per row.
+fn random_tn(
+    n_s: usize,
+    d_s: usize,
+    n_r: usize,
+    d_r: usize,
+    nnz_per_row: Option<usize>,
+    seed: u64,
+) -> NormalizedMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let s = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+    let r: Matrix = match nnz_per_row {
+        None => DenseMatrix::from_fn(n_r, d_r, |_, _| next()).into(),
+        Some(k) => {
+            let k = k.min(d_r);
+            let trips: Vec<(usize, usize, f64)> = (0..n_r)
+                .flat_map(|i| (0..k).map(move |j| (i, (i * 7 + j * 3 + seed as usize) % d_r, 1.0)))
+                .collect();
+            // Duplicate columns collapse, so nnz may be below n_r * k —
+            // that's fine, the estimate reads the actual stored count.
+            Matrix::Sparse(CsrMatrix::from_triplets(n_r, d_r, &trips).unwrap())
+        }
+    };
+    let fk: Vec<usize> = (0..n_s).map(|i| (i * 13 + seed as usize) % n_r).collect();
+    NormalizedMatrix::pk_fk(s.into(), &fk, r)
+}
+
+/// A small PK-FK right operand for `dmm`, conformable with `a` (its row
+/// count equals `a.cols()`).
+fn dmm_rhs(a: &NormalizedMatrix, seed: u64) -> NormalizedMatrix {
+    let n_b = a.cols();
+    let n_rb = (n_b / 2).max(1);
+    let sb = DenseMatrix::from_fn(n_b, 2, |i, j| {
+        ((i * 3 + j + seed as usize) % 7) as f64 - 3.0
+    });
+    let rb = DenseMatrix::from_fn(n_rb, 3, |i, j| ((i + j) % 5) as f64 * 0.5);
+    let fk: Vec<usize> = (0..n_b).map(|i| i % n_rb).collect();
+    NormalizedMatrix::pk_fk(sb.into(), &fk, rb.into())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn estimates_are_finite_and_positive_over_random_shapes_and_nnz(
+        (n_s, d_s, n_r, d_r) in (1usize..200, 1usize..10, 1usize..40, 1usize..12),
+        nnz in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // nnz = 0 means a dense attribute table; otherwise sparse.
+        let tn = random_tn(n_s, d_s, n_r, d_r, (nnz > 0).then_some(nnz), seed);
+        let profile = MachineProfile::REFERENCE;
+        for op in Op::ALL {
+            let e = estimate_op(&profile, &tn, op);
+            for v in [e.factorized_ns, e.materialized_op_ns, e.materialize_ns] {
+                prop_assert!(
+                    v.is_finite() && v > 0.0,
+                    "bad estimate {v} for {op:?} at n_s={n_s} d_s={d_s} n_r={n_r} d_r={d_r} nnz={nnz}"
+                );
+            }
+        }
+        let e = estimate_dmm(&profile, &tn, &dmm_rhs(&tn, seed));
+        for v in [e.factorized_ns, e.materialized_op_ns, e.materialize_ns] {
+            prop_assert!(v.is_finite() && v > 0.0, "bad dmm estimate {v}");
+        }
+        prop_assert!(materialize_ns(&profile, &tn) > 0.0);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_row_and_column_counts(
+        (n_s, d_s, n_r, d_r) in (32usize..160, 1usize..6, 1usize..20, 1usize..5),
+        extra_rows in 1usize..120,
+        extra_cols in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // d_total ≤ 12 < 32 ≤ n_s on both sides of the growth, so every
+        // operator (including ginv) stays in one cost-form branch.
+        let profile = MachineProfile::REFERENCE;
+        let base = random_tn(n_s, d_s, n_r, d_r, None, seed);
+        let taller = random_tn(n_s + extra_rows, d_s, n_r, d_r, None, seed);
+        let wider = random_tn(n_s, d_s, n_r, d_r + extra_cols, None, seed);
+        for op in Op::ALL {
+            let e0 = estimate_op(&profile, &base, op);
+            for (label, grown) in [("rows", &taller), ("cols", &wider)] {
+                let e1 = estimate_op(&profile, grown, op);
+                prop_assert!(
+                    e1.factorized_ns >= e0.factorized_ns
+                        && e1.materialized_op_ns >= e0.materialized_op_ns
+                        && e1.materialize_ns >= e0.materialize_ns,
+                    "estimate for {op:?} decreased when {label} grew: \
+                     {e0:?} -> {e1:?} (n_s={n_s} d_s={d_s} n_r={n_r} d_r={d_r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planner_agrees_with_brute_force_estimates_on_random_shapes(
+        (n_s, d_s, n_r, d_r) in (1usize..300, 1usize..8, 1usize..50, 1usize..10),
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = MachineProfile::REFERENCE;
+        let tn = random_tn(n_s, d_s, n_r, d_r, None, seed);
+        let planned = PlannedMatrix::with_strategy(tn.clone(), Strategy::CostBased)
+            .with_profile(profile);
+        for op in Op::ALL {
+            let decision = planned.plan(op).expect("factorized repr plans");
+            let est = estimate_op(&profile, &tn, op);
+            let brute_force = est.factorized_ns < est.materialized_total_ns(false);
+            prop_assert!(
+                decision.factorized == brute_force,
+                "planner disagrees with brute force on {op:?} at \
+                 n_s={n_s} d_s={d_s} n_r={n_r} d_r={d_r}"
+            );
+        }
+    }
+}
+
 #[test]
 fn heuristic_strategy_reproduces_the_paper_rule_per_op() {
     let rule = DecisionRule::default();

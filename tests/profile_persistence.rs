@@ -1,0 +1,49 @@
+//! Integration test for `MachineProfile` persistence through the real
+//! `MORPHEUS_PROFILE_PATH` environment hook: first use calibrates and
+//! writes the versioned file, later processes (simulated here through the
+//! injectable loader) read it back bit-for-bit and never recalibrate.
+//!
+//! This file holds exactly one test on purpose: `MachineProfile::global`
+//! resolves once per process, so the env var must be set before any other
+//! code in the binary touches it. The fallback behaviors (corrupted,
+//! partial, and old-version files; concurrent first use) are unit-tested
+//! in `morpheus-core` next to the implementation, where the calibrator is
+//! injectable.
+
+use morpheus::prelude::*;
+
+#[test]
+fn global_profile_round_trips_through_the_env_path() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "morpheus-global-profile-{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(morpheus::core::PROFILE_PATH_ENV, &path);
+
+    // First use: no file exists, so this calibrates and persists.
+    let calibrated = *MachineProfile::global();
+    let text = std::fs::read_to_string(&path).expect("calibration must write the profile file");
+    assert_eq!(
+        MachineProfile::from_text(&text).expect("persisted profile must parse"),
+        calibrated,
+        "the persisted rates must round-trip exactly"
+    );
+    assert!(
+        text.contains(&format!(
+            "format_version = {}",
+            morpheus::core::PROFILE_FORMAT_VERSION
+        )),
+        "persisted profile must carry the current format version"
+    );
+
+    // What the *next* process does: load the file, never calibrate. The
+    // injectable-loader seam makes the "never" observable in-process.
+    let reloaded = MachineProfile::load_else_calibrate_with(path.to_str(), || {
+        panic!("a current-version profile file must be loaded, not recalibrated")
+    });
+    assert_eq!(reloaded, calibrated);
+
+    let _ = std::fs::remove_file(&path);
+}
