@@ -295,8 +295,12 @@ fn fmt_crossover(x: Crossover) -> String {
 /// each point against the calibrated model's prediction, locate both
 /// crossovers, and enforce `MORPHEUS_CROSSOVER_BAR` (default 2x; set it
 /// to `0`/`off`/`none` to report without failing — e.g. on heavily loaded
-/// machines). The planner is only as good as this agreement: the sweep
-/// turns the cost model from a tuned heuristic into a tested contract.
+/// machines). An operator passes when either the crossover positions are
+/// within the bar or the predicted ratio tracks the measured ratio within
+/// the bar at every grid point — the positional test alone is
+/// ill-conditioned for near-flat curves. The planner is only as good as
+/// this agreement: the sweep turns the cost model from a tuned heuristic
+/// into a tested contract.
 fn planner_crossover(c: &mut Criterion) {
     let profile = *MachineProfile::global();
     let bar: Option<f64> = match std::env::var("MORPHEUS_CROSSOVER_BAR") {
@@ -346,25 +350,49 @@ fn planner_crossover(c: &mut Criterion) {
             );
         }
         let (xm, xp) = (crossover(&measured), crossover(&predicted));
+        // Crossover position is ill-conditioned when both curves hover near
+        // 1.0 (the interpolation point swings across the whole grid on
+        // measurement noise), so the positional bar is backed by a pointwise
+        // one: if the predicted M/F ratio tracks the measured ratio within
+        // the bar at *every* grid point, the operator passes regardless of
+        // where interpolation puts the crossing. This bounds planner regret
+        // by the same factor the positional bar intends — a wrong F/M pick
+        // at a point where the two straddle 1.0 within `bar` costs at most
+        // `bar`.
+        let pointwise = measured
+            .iter()
+            .zip(&predicted)
+            .map(|(&(_, m), &(_, p))| (m / p).max(p / m))
+            .fold(0.0_f64, f64::max);
+        let pointwise_ok = bar.map(|b| pointwise <= b).unwrap_or(true);
         let verdict = match disparity(xm, xp) {
             Ok(None) => "agree (same side everywhere)".to_string(),
             Ok(Some(ratio)) => {
-                let ok = bar.map(|b| ratio <= b).unwrap_or(true);
+                let ok = bar.map(|b| ratio <= b).unwrap_or(true) || pointwise_ok;
                 if !ok {
                     failures.push(format!(
-                        "{}: crossovers {ratio:.2}x apart (measured {}, predicted {})",
+                        "{}: crossovers {ratio:.2}x apart (measured {}, predicted {}), \
+                         pointwise {pointwise:.2}x",
                         sweep.label,
                         fmt_crossover(xm),
                         fmt_crossover(xp)
                     ));
                 }
-                format!("{ratio:.2}x apart{}", if ok { "" } else { "  ** FAIL **" })
+                format!(
+                    "{ratio:.2}x apart, pointwise {pointwise:.2}x{}",
+                    if ok { "" } else { "  ** FAIL **" }
+                )
             }
             Err(msg) => {
-                if bar.is_some() {
-                    failures.push(format!("{}: {msg}", sweep.label));
+                if bar.is_some() && !pointwise_ok {
+                    failures.push(format!(
+                        "{}: {msg} (pointwise {pointwise:.2}x)",
+                        sweep.label
+                    ));
+                    format!("sides differ, pointwise {pointwise:.2}x  ** FAIL ** ({msg})")
+                } else {
+                    format!("sides differ, pointwise {pointwise:.2}x")
                 }
-                format!("MISMATCH: {msg}")
             }
         };
         summary.push(format!(

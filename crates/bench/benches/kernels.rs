@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use morpheus_core::cost::OpKind;
 use morpheus_core::{MachineProfile, NormalizedMatrix, PlannedMatrix, Strategy};
+use morpheus_dense::simd::{self, GemmIsa};
 use morpheus_dense::DenseMatrix;
 use morpheus_linalg::{eigen_sym, ginv_sym_psd, svd};
 use morpheus_runtime::{Executor, Runtime};
@@ -144,6 +145,54 @@ fn bench_spawn_overhead(c: &mut Criterion) {
     Runtime::set_threads(configured);
 }
 
+/// Scalar-vs-SIMD rows for the kernels the packed-panel microkernel and
+/// the fixed-lane reductions replaced, at three working-set tiers (square
+/// GEMMs of ~100 KB / ~1.5 MB / ~6 MB total; reduction inputs of 256 KB /
+/// 8 MB / 64 MB — roughly L2-, L3-, and DRAM-resident on common parts).
+/// The `scalar` rows force [`GemmIsa::Portable`] / run a plain sequential
+/// fold, so the pair directly prices the vectorization win per tier; the
+/// `simd` rows use automatic dispatch, i.e. whatever the host actually
+/// runs in production.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simd_kernels");
+    for (tier, dim) in [("l2", 64usize), ("l3", 256), ("dram", 512)] {
+        let a = dense(dim, dim, 10);
+        let b = dense(dim, dim, 11);
+        g.bench_function(format!("gemm/{tier}/simd"), |bench| {
+            simd::force_isa(None);
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        g.bench_function(format!("gemm/{tier}/scalar"), |bench| {
+            simd::force_isa(Some(GemmIsa::Portable));
+            bench.iter(|| black_box(a.matmul(&b)));
+            simd::force_isa(None);
+        });
+    }
+    for (tier, len) in [("l2", 1usize << 15), ("l3", 1 << 20), ("dram", 1 << 23)] {
+        let xs = dense(len, 1, 12).into_vec();
+        let ys = dense(len, 1, 13).into_vec();
+        g.bench_function(format!("sum/{tier}/lanes"), |bench| {
+            bench.iter(|| black_box(simd::sum(&xs)))
+        });
+        g.bench_function(format!("sum/{tier}/serial"), |bench| {
+            bench.iter(|| black_box(xs.iter().sum::<f64>()))
+        });
+        g.bench_function(format!("min/{tier}/lanes"), |bench| {
+            bench.iter(|| black_box(simd::min(&xs)))
+        });
+        g.bench_function(format!("min/{tier}/serial"), |bench| {
+            bench.iter(|| black_box(xs.iter().copied().fold(f64::INFINITY, f64::min)))
+        });
+        g.bench_function(format!("dot/{tier}/lanes"), |bench| {
+            bench.iter(|| black_box(simd::dot(&xs, &ys)))
+        });
+        g.bench_function(format!("dot/{tier}/serial"), |bench| {
+            bench.iter(|| black_box(xs.iter().zip(&ys).fold(0.0f64, |acc, (x, y)| acc + x * y)))
+        });
+    }
+    g.finish();
+}
+
 /// Cost of one per-operator planning decision (estimate both routes,
 /// compare) next to the *cheapest* kernel the parallelism gate lets onto
 /// the pool (`MORPHEUS_PAR_THRESHOLD` = 2^14 flops by default, a 32x32x16
@@ -185,7 +234,7 @@ fn bench_planner_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg, bench_spawn_overhead,
-        bench_planner_overhead
+    targets = bench_dense_kernels, bench_sparse_kernels, bench_linalg, bench_simd_kernels,
+        bench_spawn_overhead, bench_planner_overhead
 }
 criterion_main!(benches);

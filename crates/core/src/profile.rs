@@ -45,10 +45,13 @@ use std::sync::OnceLock;
 pub const PROFILE_PATH_ENV: &str = "MORPHEUS_PROFILE_PATH";
 
 /// Version of the persisted key set. Bumped whenever the rate set changes
-/// shape; files written by other versions trigger recalibration instead of
-/// being misread (v1 had a single dense rate and one shared
-/// sparse/gather rate).
-pub const PROFILE_FORMAT_VERSION: u32 = 2;
+/// shape *or the kernels behind the rates change speed class*; files
+/// written by other versions trigger recalibration instead of being
+/// misread (v1 had a single dense rate and one shared sparse/gather rate;
+/// v2 rates were measured against the scalar GEMM and serial reduction
+/// chains that the SIMD packed-panel microkernel and fixed-lane reductions
+/// replaced — loading them would misprice every crossover decision).
+pub const PROFILE_FORMAT_VERSION: u32 = 3;
 
 /// One calibration point of the dense-rate tier curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,14 +82,18 @@ pub struct MachineProfile {
     pub ew_ns: f64,
     /// ns per element in read-only streaming *sum* reductions with
     /// independent accumulators (row/col sums). Cheaper than
-    /// [`ew_ns`](Self::ew_ns): no write stream, and the per-row sums
+    /// [`ew_ns`](Self::ew_ns): no write stream, and the fixed-lane sums
     /// vectorize.
     pub red_ns: f64,
-    /// ns per element in min/max fold reductions (`rowMin`): comparison
-    /// chains, slower than the sum reductions.
+    /// ns per element in min/max fold reductions (`rowMin`). Since the
+    /// fixed-lane vectorization the fold chains run at nearly the sum
+    /// rate; the residual gap is the latency difference between `min` and
+    /// `add`, no longer the old 2–3x serial-chain penalty.
     pub minmax_ns: f64,
-    /// ns per element in a whole-matrix scalar `sum`: one serial
-    /// floating-point dependency chain, the slowest reduction class.
+    /// ns per element in a whole-matrix `sum`. Historically the slowest
+    /// reduction class (one serial dependency chain); the fixed-lane
+    /// kernel runs eight chains in flight, pulling it to the streaming
+    /// bandwidth of [`red_ns`](Self::red_ns).
     pub sum_ns: f64,
     /// ns per stored-entry fused op in general sparse products (SpMM,
     /// SpGEMM, sparse crossprod) — priced against nnz, not logical size.
@@ -103,11 +110,12 @@ pub struct MachineProfile {
     /// come from a two-point (wide/narrow) calibration.
     pub gather_row_ns: f64,
     /// Measured ratio of the symmetric rank-k kernels (`crossprod`,
-    /// `tcrossprod`) to blocked GEMM at the same working set. The
-    /// streaming syrk loops trade cache blocking for the half-arithmetic
-    /// symmetry trick, so their per-flop rate is worse than
-    /// [`dense_flop_ns`](Self::dense_flop_ns) by this (dimensionless)
-    /// factor.
+    /// `tcrossprod`) to blocked GEMM at the same working set, normalized
+    /// to the tiles the triangular kernel actually computes
+    /// (`cost::syrk_tile_fraction` of the padded output square — the
+    /// kernel skips whole register tiles below the diagonal). What
+    /// remains in this (dimensionless) factor is the genuine premium:
+    /// transposed packing and the mirror pass.
     pub syrk_factor: f64,
     /// ns per element in *column*-strided indicator applications — the
     /// `X K` pushes of RMM and the `S_A K_B1`-style dense-times-one-hot
@@ -141,8 +149,11 @@ impl MachineProfile {
     /// Nominal rates of a mid-2020s x86 core: blocked GEMM ≈ 2 flops/ns in
     /// L2 degrading toward 1 flop/ns out of DRAM, element-wise streaming
     /// ≈ 1/ns, sparse fused ops ≈ 2.5 ns, gathers ≈ 3 ns each, ~1 µs per
-    /// dispatched part. Used by tests that need deterministic estimates;
-    /// real planning calibrates instead.
+    /// dispatched part. A **frozen test profile**, not a tracker of the
+    /// current kernels — tests that pin planner decisions depend on these
+    /// exact numbers, so kernel speedups (e.g. the SIMD microkernel)
+    /// change calibration, never this constant. Real planning calibrates
+    /// instead.
     pub const REFERENCE: MachineProfile = MachineProfile {
         dense_tiers: [
             DenseTier {
@@ -297,14 +308,23 @@ impl MachineProfile {
             std::hint::black_box(k.dense_spmm(&xr));
         });
 
-        // Symmetric rank-k factor: the L2-tier crossprod (half the
-        // arithmetic of the full product, but a streaming non-blocked
-        // loop) against the L2-tier GEMM rate measured above.
+        // Symmetric rank-k factor: the L2-tier crossprod against the
+        // L2-tier GEMM rate measured above, normalized by the tiles the
+        // triangular kernel actually computes at this output size (the
+        // per-triangle-flop convention would fold the tile-granularity
+        // waste into the factor and misprice other output sizes). The
+        // strided-pack and mirror costs the estimator prices separately
+        // (see `cost::sym_mm_ns`) are subtracted first so the factor
+        // stays a pure flop-rate premium.
         let a64 = DenseMatrix::from_fn(64, 64, |i, j| ((i * 64 + j) % 23) as f64 * 0.09 - 1.0);
-        let syrk_ns = timing::measure_ns_per_op(5, 64 * 64 * 65 / 2, || {
+        let syrk_ops = (crate::cost::syrk_tile_fraction(64.0) * 64.0 * 64.0 * 64.0) as usize;
+        let syrk_ns_raw = timing::measure_ns_per_op(5, syrk_ops, || {
             std::hint::black_box(a64.crossprod());
         });
-        let syrk_factor = (syrk_ns / dense_tiers[0].ns).clamp(0.5, 4.0);
+        let syrk_side = (64.0 * 64.0 * (gather_ns - sum_ns).max(0.0)
+            + 0.5 * 64.0 * 64.0 * (gather_ns + ew_ns))
+            / syrk_ops as f64;
+        let syrk_factor = ((syrk_ns_raw - syrk_side) / dense_tiers[0].ns).clamp(0.5, 4.0);
 
         // Per-part overhead: dispatch of a near-empty two-item section on
         // the pool, the same shape the per-part rewrite loops use.
@@ -628,7 +648,7 @@ mod tests {
 
     #[test]
     fn parse_rejects_partial_key_sets_naming_the_missing_rates() {
-        let partial = "format_version = 2\ndense_l2_bytes = 1e5\ndense_l2_ns = 0.5\n";
+        let partial = "format_version = 3\ndense_l2_bytes = 1e5\ndense_l2_ns = 0.5\n";
         match MachineProfile::from_text(partial) {
             Err(CoreError::Profile(msg)) => {
                 assert!(msg.contains("ew_ns"), "should name missing keys: {msg}")
@@ -647,7 +667,7 @@ mod tests {
         }
         let vfuture = MachineProfile::REFERENCE
             .to_text()
-            .replace("format_version = 2", "format_version = 99");
+            .replace("format_version = 3", "format_version = 99");
         assert!(matches!(
             MachineProfile::from_text(&vfuture),
             Err(CoreError::Profile(msg)) if msg.contains("99")

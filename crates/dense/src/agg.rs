@@ -2,13 +2,21 @@
 //!
 //! These correspond to the "Aggregation" rows of Table 1 in the paper and the
 //! `rowMin` helper used by the K-Means LA formulation (Algorithm 7/15).
+//!
+//! The linear reductions run on the fixed-lane kernels of [`crate::simd`]
+//! ([`morpheus_dense::simd::sum`](crate::simd::sum), min/max folds): eight
+//! compile-time accumulator lanes combined in a fixed tree order, so every
+//! result is deterministic run-to-run, across worker counts, and across the
+//! `MORPHEUS_SIMD` gate. `colSums` keeps its per-column accumulator walk —
+//! it is already one contiguous auto-vectorized add per input row.
 
+use crate::simd;
 use crate::DenseMatrix;
 
 impl DenseMatrix {
     /// Row-wise sums, returned as an `n x 1` column vector (`rowSums(T)`).
     pub fn row_sums(&self) -> DenseMatrix {
-        let sums: Vec<f64> = self.row_iter().map(|r| r.iter().sum()).collect();
+        let sums: Vec<f64> = self.row_iter().map(simd::sum).collect();
         DenseMatrix::col_vector(&sums)
     }
 
@@ -25,17 +33,14 @@ impl DenseMatrix {
 
     /// Sum of all entries (`sum(T)`).
     pub fn sum(&self) -> f64 {
-        self.as_slice().iter().sum()
+        simd::sum(self.as_slice())
     }
 
     /// Row-wise minima, returned as an `n x 1` column vector (`rowMin(D)`).
     ///
     /// Empty rows (zero columns) yield `f64::INFINITY`.
     pub fn row_min(&self) -> DenseMatrix {
-        let mins: Vec<f64> = self
-            .row_iter()
-            .map(|r| r.iter().copied().fold(f64::INFINITY, f64::min))
-            .collect();
+        let mins: Vec<f64> = self.row_iter().map(simd::min).collect();
         DenseMatrix::col_vector(&mins)
     }
 
@@ -43,10 +48,7 @@ impl DenseMatrix {
     ///
     /// Empty rows yield `f64::NEG_INFINITY`.
     pub fn row_max(&self) -> DenseMatrix {
-        let maxs: Vec<f64> = self
-            .row_iter()
-            .map(|r| r.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-            .collect();
+        let maxs: Vec<f64> = self.row_iter().map(simd::max).collect();
         DenseMatrix::col_vector(&maxs)
     }
 
@@ -71,7 +73,7 @@ impl DenseMatrix {
 
     /// Frobenius norm `sqrt(sum(T^2))`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.as_slice().iter().map(|&v| v * v).sum::<f64>().sqrt()
+        simd::dot(self.as_slice(), self.as_slice()).sqrt()
     }
 
     /// Mean of all entries; `NaN` for empty matrices.

@@ -30,6 +30,7 @@ mod arith;
 mod error;
 mod matmul;
 mod matrix;
+pub mod simd;
 mod slicing;
 mod vecops;
 

@@ -1,18 +1,21 @@
 //! Matrix multiplication, transpose, and the symmetric cross-product.
 //!
-//! The GEMM kernel keeps the classic i-k-j loop order so that the innermost
-//! loop walks both the output row and the `other` row contiguously — the
-//! cache-friendly, auto-vectorizable ordering for row-major storage — and
-//! adds two layers on top:
+//! Every matrix-matrix product in this module — `matmul`, `crossprod`,
+//! `tcrossprod`, `t_matmul`, `matmul_t` — bottoms out in the packed-panel,
+//! register-blocked SIMD microkernel of [`crate::simd`]: the right operand
+//! is packed once into `KC x NR` column panels, each row band packs its
+//! left-operand tiles into `MR`-row panels, and an `MR x NR` register tile
+//! is updated with broadcast-FMA (AVX2 where detected, a bit-identical
+//! scalar-FMA microkernel under `MORPHEUS_SIMD=off`, plain multiply-add on
+//! hardware without FMA). Transposed drivers absorb their transpose into
+//! the packing strides, so no operand is ever materialized transposed.
 //!
-//! * **k-blocking**: the `other` panel touched by the inner loop is limited
-//!   to [`KC`] rows so it stays cache-resident while a band of output rows
-//!   streams over it.
-//! * **row-band parallelism**: output rows are split into bands executed on
-//!   the shared [`morpheus_runtime`] executor. Each output element is still
-//!   accumulated by exactly one worker in the exact serial k-order, so the
-//!   parallel kernels agree with the single-threaded path **bit for bit**
-//!   (and `Executor::new(1)` reproduces the pre-parallel results exactly).
+//! **Parallelism**: output rows are split into bands executed on the
+//! shared [`morpheus_runtime`] executor. Each output element is
+//! accumulated by exactly one worker in the exact ascending-k order
+//! regardless of band or tile alignment, so the parallel kernels agree
+//! with the single-threaded path **bit for bit** (and `Executor::new(1)`
+//! reproduces the full-pool results exactly).
 //!
 //! Every hot kernel has a `*_with(&Executor)` variant for per-call thread
 //! control; the plain methods draw workers from [`Runtime::executor`], which
@@ -20,34 +23,37 @@
 //! (e.g. the chunked backend), so the two levels compose without
 //! oversubscription.
 
+use crate::simd::{self, GemmBand, GemmIsa, MatSrc};
 use crate::DenseMatrix;
 use morpheus_runtime::{Executor, Runtime};
 
-/// k-block size of the GEMM kernel: the `other` panel revisited by a band
-/// of output rows is at most `KC x n` elements.
-const KC: usize = 256;
-
-/// The serial band kernel: accumulates `out_band = A[i0..i0+rows, :] * B`
-/// with k-blocking. Per output element the k-order is strictly increasing,
-/// matching the unblocked i-k-j kernel exactly.
-fn gemm_band(a: &[f64], b: &[f64], out_band: &mut [f64], i0: usize, k: usize, n: usize) {
-    let rows = out_band.len() / n;
-    for kb in (0..k).step_by(KC) {
-        let kend = (kb + KC).min(k);
-        for r in 0..rows {
-            let arow = &a[(i0 + r) * k..(i0 + r) * k + k];
-            let orow = &mut out_band[r * n..(r + 1) * n];
-            for (kk, &av) in arow[kb..kend].iter().enumerate() {
-                if av == 0.0 {
-                    continue; // cheap sparsity win; exact-zero skip is safe
-                }
-                let brow = &b[(kb + kk) * n..(kb + kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+/// Packs `b`, then runs the packed-panel GEMM band-parallel on `ex`:
+/// `out[r, :] += Σ_kk a(i0 + r, kk) * b(kk, :)` for the `m x n` output.
+/// `tri_upper` skips tiles entirely below the diagonal (the symmetric
+/// drivers mirror afterwards).
+#[allow(clippy::too_many_arguments)]
+fn gemm_driver(
+    a: MatSrc<'_>,
+    b: MatSrc<'_>,
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    tri_upper: bool,
+    ex: &Executor,
+) {
+    let isa = GemmIsa::active();
+    let packed = simd::pack_b(b, k, n);
+    let band = ex.grain(m);
+    ex.par_chunks_mut(out, band * n, |bi, chunk| {
+        GemmBand {
+            a,
+            b: &packed,
+            i0: bi * band,
+            tri_upper,
         }
-    }
+        .run(isa, chunk);
+    });
 }
 
 impl DenseMatrix {
@@ -81,17 +87,56 @@ impl DenseMatrix {
             // (this is the hot path of every GLM iteration).
             return DenseMatrix::col_vector(&self.matvec_with(other.as_slice(), ex));
         }
+        if m == 1 {
+            // One output row: packing all of B (zero-padded to NR panels)
+            // costs as much as the product itself. Stream B exactly once
+            // with a contiguous axpy per input row instead — this is
+            // `colSums(K) * B` in the factorized column-sum rewrite.
+            // Either way every output element accumulates in ascending-k
+            // order, so the worker count never changes the bits.
+            let mut out = DenseMatrix::zeros(1, n);
+            let ex = ex.gated(k * n);
+            let a = self.as_slice();
+            let bs = other.as_slice();
+            if ex.threads() <= 1 {
+                let o = out.as_mut_slice();
+                for (&av, brow) in a.iter().zip(bs.chunks_exact(n)) {
+                    for (ov, &bv) in o.iter_mut().zip(brow) {
+                        *ov += av * bv;
+                    }
+                }
+            } else {
+                // Column bands each scan all of A and own their columns.
+                let band = ex.grain(n);
+                ex.par_chunks_mut(out.as_mut_slice(), band, |bi, chunk| {
+                    let j0 = bi * band;
+                    let w = chunk.len();
+                    for (kk, &av) in a.iter().enumerate() {
+                        let brow = &bs[kk * n + j0..kk * n + j0 + w];
+                        for (o, &bv) in chunk.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                });
+            }
+            return out;
+        }
         let mut out = DenseMatrix::zeros(m, n);
         if m == 0 || n == 0 || k == 0 {
             return out;
         }
         let ex = ex.gated(m * k * n);
-        let band = ex.grain(m);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
-            gemm_band(a, b, chunk, bi * band, k, n);
-        });
+        let a = MatSrc {
+            data: self.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        let b = MatSrc {
+            data: other.as_slice(),
+            rs: n,
+            cs: 1,
+        };
+        gemm_driver(a, b, out.as_mut_slice(), m, k, n, false, &ex);
         out
     }
 
@@ -128,7 +173,7 @@ impl DenseMatrix {
             let i0 = bi * band;
             for (r, o) in chunk.iter_mut().enumerate() {
                 let row = &a[(i0 + r) * k..(i0 + r + 1) * k];
-                *o = row.iter().zip(x).map(|(&av, &bv)| av * bv).sum();
+                *o = simd::dot(row, x);
             }
         });
         out
@@ -210,10 +255,13 @@ impl DenseMatrix {
 
     /// [`DenseMatrix::crossprod`] with an explicit executor.
     ///
-    /// Workers own disjoint bands of output rows and each streams over the
-    /// whole input, so every upper-triangle element accumulates the input
-    /// rows in serial order regardless of the worker count. Band
-    /// round-robin balances the triangular row costs.
+    /// The packed kernel reads the left operand through a transposed view
+    /// (`rs = 1, cs = d`) and skips register tiles entirely below the
+    /// diagonal — roughly half the arithmetic, tile-granular, exactly the
+    /// saving the paper's "efficient" rewrite (Algorithm 2) relies on.
+    /// Workers own disjoint bands of output rows, so every upper-triangle
+    /// element accumulates the input rows in ascending order regardless of
+    /// the worker count.
     pub fn crossprod_with(&self, ex: &Executor) -> DenseMatrix {
         let (n, d) = self.shape();
         let mut out = DenseMatrix::zeros(d, d);
@@ -221,28 +269,10 @@ impl DenseMatrix {
             return out;
         }
         let ex = ex.gated(n * d * (d + 1) / 2);
-        let band = ex.grain(d);
-        let a = self.as_slice();
-        ex.par_chunks_mut(out.as_mut_slice(), band * d, |bi, chunk| {
-            let i0 = bi * band;
-            let rows_in_band = chunk.len() / d;
-            for r in 0..n {
-                let row = &a[r * d..(r + 1) * d];
-                for li in 0..rows_in_band {
-                    let i = i0 + li;
-                    let xi = row[i];
-                    if xi == 0.0 {
-                        continue;
-                    }
-                    // Contiguous upper-triangle tail: vectorizable, and
-                    // does exactly half the arithmetic of a full product.
-                    let orow = &mut chunk[li * d + i..(li + 1) * d];
-                    for (ov, &xj) in orow.iter_mut().zip(&row[i..]) {
-                        *ov += xi * xj;
-                    }
-                }
-            }
-        });
+        let data = self.as_slice();
+        let a = MatSrc { data, rs: 1, cs: d };
+        let b = MatSrc { data, rs: d, cs: 1 };
+        gemm_driver(a, b, out.as_mut_slice(), d, n, d, true, &ex);
         let o = out.as_mut_slice();
         for i in 0..d {
             for j in (i + 1)..d {
@@ -258,8 +288,10 @@ impl DenseMatrix {
         self.tcrossprod_with(&Runtime::executor())
     }
 
-    /// [`DenseMatrix::tcrossprod`] with an explicit executor; upper-triangle
-    /// rows are computed in parallel bands, then mirrored.
+    /// [`DenseMatrix::tcrossprod`] with an explicit executor; the packed
+    /// kernel reads the right operand through a transposed view, skips
+    /// register tiles entirely below the diagonal, and the upper triangle
+    /// is mirrored afterwards.
     pub fn tcrossprod_with(&self, ex: &Executor) -> DenseMatrix {
         let (n, d) = self.shape();
         let mut out = DenseMatrix::zeros(n, n);
@@ -267,19 +299,12 @@ impl DenseMatrix {
             return out;
         }
         let ex = ex.gated(n * (n + 1) / 2 * d.max(1));
-        let band = ex.grain(n);
-        let a = self.as_slice();
-        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
-            let i0 = bi * band;
-            for (li, orow) in chunk.chunks_mut(n).enumerate() {
-                let i = i0 + li;
-                let ri = &a[i * d..(i + 1) * d];
-                for (j, ov) in orow.iter_mut().enumerate().skip(i) {
-                    let rj = &a[j * d..(j + 1) * d];
-                    *ov = ri.iter().zip(rj).map(|(&x, &y)| x * y).sum();
-                }
-            }
-        });
+        let data = self.as_slice();
+        if d > 0 {
+            let a = MatSrc { data, rs: d, cs: 1 };
+            let b = MatSrc { data, rs: 1, cs: d };
+            gemm_driver(a, b, out.as_mut_slice(), n, d, n, true, &ex);
+        }
         let o = out.as_mut_slice();
         for i in 0..n {
             for j in (i + 1)..n {
@@ -343,25 +368,17 @@ impl DenseMatrix {
             });
             return out;
         }
-        let b = other.as_slice();
-        let band = ex.grain(d);
-        ex.par_chunks_mut(out.as_mut_slice(), band * p, |bi, chunk| {
-            let k0 = bi * band;
-            let rows_in_band = chunk.len() / p;
-            for i in 0..n {
-                let arow = &a[i * d + k0..i * d + k0 + rows_in_band];
-                let brow = &b[i * p..(i + 1) * p];
-                for (lk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut chunk[lk * p..(lk + 1) * p];
-                    for (ov, &bv) in orow.iter_mut().zip(brow) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-        });
+        let asrc = MatSrc {
+            data: a,
+            rs: 1,
+            cs: d,
+        };
+        let b = MatSrc {
+            data: other.as_slice(),
+            rs: p,
+            cs: 1,
+        };
+        gemm_driver(asrc, b, out.as_mut_slice(), d, n, p, false, &ex);
         out
     }
 
@@ -393,19 +410,20 @@ impl DenseMatrix {
             return out;
         }
         let ex = ex.gated(m * n * k.max(1));
-        let band = ex.grain(m);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        ex.par_chunks_mut(out.as_mut_slice(), band * n, |bi, chunk| {
-            let i0 = bi * band;
-            for (li, orow) in chunk.chunks_mut(n).enumerate() {
-                let arow = &a[(i0 + li) * k..(i0 + li + 1) * k];
-                for (j, ov) in orow.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    *ov = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum::<f64>();
-                }
-            }
-        });
+        if k == 0 {
+            return out;
+        }
+        let a = MatSrc {
+            data: self.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        let b = MatSrc {
+            data: other.as_slice(),
+            rs: 1,
+            cs: k,
+        };
+        gemm_driver(a, b, out.as_mut_slice(), m, k, n, false, &ex);
         out
     }
 }
@@ -522,8 +540,8 @@ mod tests {
     #[test]
     fn blocked_gemm_matches_unblocked_across_k() {
         // k spans multiple KC blocks; blocking must not change results.
-        let m = big(5, 2 * super::KC + 37, 3);
-        let x = big(2 * super::KC + 37, 4, 5);
+        let m = big(5, 2 * simd::KC + 37, 3);
+        let x = big(2 * simd::KC + 37, 4, 5);
         let naive = DenseMatrix::from_fn(5, 4, |i, j| {
             (0..m.cols()).map(|k| m.get(i, k) * x.get(k, j)).sum()
         });

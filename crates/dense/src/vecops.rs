@@ -1,4 +1,10 @@
 //! Free functions on plain `&[f64]` vectors used across the workspace.
+//!
+//! The accumulating functions run on the fixed-lane reduction kernels of
+//! [`crate::simd`], so their results are deterministic across runs, worker
+//! counts, and the `MORPHEUS_SIMD` gate.
+
+use crate::simd;
 
 /// Dot product of two equal-length slices.
 ///
@@ -6,12 +12,12 @@
 /// Panics if the lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    simd::dot(a, b)
 }
 
 /// Euclidean (L2) norm of a slice.
 pub fn l2_norm(a: &[f64]) -> f64 {
-    a.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    simd::dot(a, a).sqrt()
 }
 
 /// Largest absolute element-wise difference between two slices.

@@ -7,7 +7,12 @@ use morpheus_dense::DenseMatrix;
 ///
 /// Only the lower triangle of `a` is read (the matrix is assumed symmetric).
 /// Returns [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
-/// strictly positive.
+/// positive *relative to the matrix scale* (`n · eps · max_diag`): a pivot
+/// at rounding level means the matrix is numerically semidefinite, and
+/// whether the computed value lands above or below exact zero is decided
+/// by kernel rounding — accepting it would make the success of the
+/// factorization (and the normal-equation solver's route choice downstream)
+/// flip on bit-level input perturbations instead of failing deterministically.
 pub fn cholesky(a: &DenseMatrix) -> LinalgResult<DenseMatrix> {
     if !a.is_square() {
         return Err(LinalgError::BadShape(format!(
@@ -17,6 +22,11 @@ pub fn cholesky(a: &DenseMatrix) -> LinalgResult<DenseMatrix> {
         )));
     }
     let n = a.rows();
+    let mut max_diag = 0.0f64;
+    for i in 0..n {
+        max_diag = max_diag.max(a.get(i, i).abs());
+    }
+    let pivot_floor = n as f64 * f64::EPSILON * max_diag;
     let mut l = DenseMatrix::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
@@ -25,7 +35,7 @@ pub fn cholesky(a: &DenseMatrix) -> LinalgResult<DenseMatrix> {
                 acc -= l.get(i, k) * l.get(j, k);
             }
             if i == j {
-                if acc <= 0.0 {
+                if acc <= pivot_floor {
                     return Err(LinalgError::NotPositiveDefinite { index: i });
                 }
                 l.set(i, j, acc.sqrt());

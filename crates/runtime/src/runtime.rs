@@ -11,6 +11,10 @@ static THREADS: AtomicUsize = AtomicUsize::new(0);
 /// resolved" (user values are clamped to >= 1).
 static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
 
+/// Whether explicit-SIMD kernel paths may run; `0` means "not yet
+/// resolved", `1` enabled, `2` disabled.
+static SIMD: AtomicUsize = AtomicUsize::new(0);
+
 /// Default work size (in flops / fused operations) below which kernels run
 /// inline on the caller. Dispatching onto the resident pool is a queue
 /// push plus a condvar wake — the `spawn_overhead` bench group measures
@@ -91,6 +95,40 @@ impl Runtime {
     /// pool regardless of size (useful in determinism tests and benches).
     pub fn set_par_threshold(work: usize) {
         PAR_THRESHOLD.store(work.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether kernels may take their explicit-SIMD (`std::arch`) paths.
+    ///
+    /// Resolved once, at first use: `false` when the `MORPHEUS_SIMD`
+    /// environment variable is set to `off`, `0`, `false`, or `no`
+    /// (case-insensitive), `true` otherwise. This is the escape hatch
+    /// that keeps the portable scalar kernels reachable on hardware that
+    /// *does* support SIMD — for debugging a suspected vector-kernel bug
+    /// and for CI coverage of the fallback path. It gates dispatch only;
+    /// the fixed-lane reduction kernels compute identical results either
+    /// way, and the scalar GEMM microkernel stays within FMA rounding of
+    /// the vector one (bit-identical when the CPU has FMA).
+    pub fn simd_enabled() -> bool {
+        match SIMD.load(Ordering::Relaxed) {
+            0 => {
+                let on = std::env::var("MORPHEUS_SIMD")
+                    .map(|v| {
+                        let v = v.trim().to_ascii_lowercase();
+                        !matches!(v.as_str(), "off" | "0" | "false" | "no")
+                    })
+                    .unwrap_or(true);
+                SIMD.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+                on
+            }
+            n => n == 1,
+        }
+    }
+
+    /// Overrides the SIMD gate for the whole process (tests and benches
+    /// that compare kernel paths; scheduling/codegen only — the reduction
+    /// results are identical either way).
+    pub fn set_simd(enabled: bool) {
+        SIMD.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
     }
 
     fn par_threshold() -> usize {

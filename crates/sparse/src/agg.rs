@@ -2,16 +2,19 @@
 //!
 //! `colSums(K)` is the heart of the paper's efficient cross-product rewrite
 //! (Algorithm 2): `Kᵀ K = diag(colSums(K))` for a PK-FK indicator matrix.
+//!
+//! The linear reductions over the CSR value array run on the fixed-lane
+//! kernels of [`morpheus_dense::simd`], sharing the dense side's
+//! determinism contract; `colSums` keeps its scatter walk (it is bound by
+//! the indexed stores, not the additions).
 
 use crate::CsrMatrix;
-use morpheus_dense::DenseMatrix;
+use morpheus_dense::{simd, DenseMatrix};
 
 impl CsrMatrix {
     /// Row-wise sums as an `n x 1` dense column vector (`rowSums`).
     pub fn row_sums(&self) -> DenseMatrix {
-        let sums: Vec<f64> = (0..self.rows())
-            .map(|i| self.row(i).1.iter().sum())
-            .collect();
+        let sums: Vec<f64> = (0..self.rows()).map(|i| simd::sum(self.row(i).1)).collect();
         DenseMatrix::col_vector(&sums)
     }
 
@@ -26,7 +29,7 @@ impl CsrMatrix {
 
     /// Sum of all entries (`sum`).
     pub fn sum(&self) -> f64 {
-        self.values().iter().sum()
+        simd::sum(self.values())
     }
 
     /// Scales row `i` by `weights[i]` (`diag(w) * M`), preserving sparsity.
@@ -74,7 +77,7 @@ impl CsrMatrix {
 
     /// Frobenius norm `sqrt(sum(M^2))`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.values().iter().map(|&v| v * v).sum::<f64>().sqrt()
+        simd::dot(self.values(), self.values()).sqrt()
     }
 }
 

@@ -26,7 +26,7 @@
 //! `tests/parallel_kernels_proptest.rs`).
 
 use crate::CsrMatrix;
-use morpheus_dense::DenseMatrix;
+use morpheus_dense::{simd, DenseMatrix};
 use morpheus_runtime::{Executor, Runtime};
 
 /// Flop estimate for products that stream `a`'s non-zeros against rows of
@@ -140,7 +140,7 @@ impl CsrMatrix {
                     let i0 = bi * band;
                     for (li, o) in chunk.iter_mut().enumerate() {
                         let (cols, vals) = self.row(i0 + li);
-                        *o = cols.iter().zip(vals).map(|(&c, &v)| v * xs[c]).sum();
+                        *o = simd::dot_indexed(vals, cols, xs);
                     }
                 });
             }
@@ -572,7 +572,7 @@ impl CsrMatrix {
             let i0 = bi * band;
             for (li, o) in chunk.iter_mut().enumerate() {
                 let (cols, vals) = self.row(i0 + li);
-                *o = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+                *o = simd::dot_indexed(vals, cols, x);
             }
         });
         out

@@ -298,6 +298,48 @@ proptest! {
 }
 
 #[test]
+fn vectorized_reduction_rates_no_longer_show_the_serial_chain_gap() {
+    // Before the fixed-lane reduction kernels, calibration priced the
+    // three reduction classes at roughly 0.21 / 0.44 / 0.61 ns per
+    // element (independent-accumulator row sums / min folds / the serial
+    // whole-matrix sum chain): the fold and serial-chain kernels were
+    // 2–3x off the vectorized rate, and rowMin-heavy plans (K-Means)
+    // inherited that drift. With eight accumulator lanes and the
+    // select-based min fold, all three run at streaming bandwidth.
+    //
+    // Kernel-rate ratios are only meaningful in optimized builds — debug
+    // codegen neither vectorizes the lanes nor keeps them in registers —
+    // so the measurement is release-gated.
+    if cfg!(debug_assertions) {
+        return;
+    }
+    // Two noise-robust invariants instead of one absolute spread bound
+    // (per-row rates inflate together under background load, the
+    // contiguous whole-matrix sum barely moves, so a single lo/hi ratio
+    // is flaky on busy machines):
+    //   1. the two per-row classes (sum lanes vs min-fold lanes) now run
+    //      the same kernel structure and must stay within 2x;
+    //   2. the whole-matrix sum is no longer the serial-chain laggard —
+    //      before vectorization it was ~3x *slower* than row sums, now
+    //      it is the fastest class.
+    let p = MachineProfile::calibrate();
+    let row_ratio = (p.red_ns / p.minmax_ns).max(p.minmax_ns / p.red_ns);
+    assert!(
+        row_ratio < 2.0,
+        "per-row reduction classes drifted apart again: red={} minmax={} ({:.2}x)",
+        p.red_ns,
+        p.minmax_ns,
+        row_ratio
+    );
+    assert!(
+        p.sum_ns < p.red_ns * 1.5,
+        "whole-matrix sum regressed to a serial chain: sum={} vs red={}",
+        p.sum_ns,
+        p.red_ns
+    );
+}
+
+#[test]
 fn heuristic_strategy_reproduces_the_paper_rule_per_op() {
     let rule = DecisionRule::default();
     for (tr, fr, seed) in [(20.0, 4.0, 1), (2.0, 0.5, 2), (10.0, 0.5, 3), (2.0, 4.0, 4)] {

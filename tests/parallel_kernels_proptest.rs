@@ -7,10 +7,15 @@
 //! exact CSR structure — and chunk-level parallelism composed over
 //! kernel-level parallelism (oversubscription) must stay deterministic.
 //! Worker counts deliberately exceed the resident pool so dispatch under
-//! oversubscription is exercised too.
+//! oversubscription is exercised too. The SIMD determinism contract gets
+//! the same treatment: the AVX2 GEMM microkernel must match the scalar
+//! FMA microkernel bit for bit on every tile-remainder shape, and the
+//! fixed-lane reductions must not move with the worker count or the
+//! `MORPHEUS_SIMD` gate.
 
 use morpheus::chunked::ChunkedMatrix;
 use morpheus::core::LinearOperand;
+use morpheus::dense::simd::{self, GemmBand, GemmIsa, MatSrc};
 use morpheus::prelude::*;
 use proptest::prelude::*;
 
@@ -199,6 +204,137 @@ proptest! {
         // Repeated runs are stable too (no scheduling-dependent results).
         prop_assert_eq!(nested_lmm2, nested_lmm);
         prop_assert_eq!(nested_cp2, nested_cp);
+    }
+
+    #[test]
+    fn simd_gemm_bit_identical_to_scalar_microkernel(
+        m in 1usize..35,
+        k in 1usize..300,
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        // The vector microkernel's determinism contract: for every shape —
+        // including MR/NR tile remainders and products crossing a KC
+        // boundary — the AVX2 kernel produces the same bits as the scalar
+        // FMA microkernel over the same packed panels, and both agree
+        // with a naive triple loop to rounding. Exercised through the
+        // explicit-ISA band API, so no process-global dispatch state is
+        // touched and cases can run concurrently.
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x51D);
+        let asrc = MatSrc { data: a.as_slice(), rs: k, cs: 1 };
+        let packed = simd::pack_b(MatSrc { data: b.as_slice(), rs: n, cs: 1 }, k, n);
+        let band = GemmBand { a: asrc, b: &packed, i0: 0, tri_upper: false };
+        let mut scalar = vec![0.0f64; m * n];
+        band.run(GemmIsa::ScalarFma, &mut scalar);
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            let mut vector = vec![0.0f64; m * n];
+            band.run(GemmIsa::Avx2Fma, &mut vector);
+            prop_assert_eq!(&vector, &scalar);
+        }
+        let mut portable = vec![0.0f64; m * n];
+        band.run(GemmIsa::Portable, &mut portable);
+        for i in 0..m {
+            for j in 0..n {
+                let mut naive = 0.0f64;
+                for kk in 0..k {
+                    naive += a.get(i, kk) * b.get(kk, j);
+                }
+                let tol = 1e-12 * (k as f64).max(1.0);
+                prop_assert!((scalar[i * n + j] - naive).abs() <= tol);
+                prop_assert!((portable[i * n + j] - naive).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_drivers_bit_identical_with_simd_disabled(
+        rows in 1usize..40,
+        cols in 1usize..10,
+        inner in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        // `MORPHEUS_SIMD=off` demotes dispatch from the AVX2 kernel to the
+        // scalar FMA microkernel — which the determinism contract requires
+        // to be bit-identical, so flipping the gate must be invisible in
+        // every product driver's output. (That same contract is what makes
+        // this toggle safe while sibling cases run concurrently.)
+        let a = mat(rows, inner, seed);
+        let b = mat(inner, cols, seed ^ 0xE11E);
+        let y = mat(rows, cols, seed ^ 0x31A7);
+        let z = mat(cols, inner, seed ^ 0x7A13);
+        let on = (
+            a.matmul(&b),
+            a.crossprod(),
+            a.tcrossprod(),
+            a.t_matmul(&y),
+            a.matmul_t(&z),
+        );
+        let was_enabled = Runtime::simd_enabled();
+        Runtime::set_simd(false);
+        let off = (
+            a.matmul(&b),
+            a.crossprod(),
+            a.tcrossprod(),
+            a.t_matmul(&y),
+            a.matmul_t(&z),
+        );
+        Runtime::set_simd(was_enabled);
+        prop_assert_eq!(off, on);
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_thread_counts_and_simd_modes(
+        rows in 1usize..40,
+        cols in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        // The fixed-lane reductions promise one accumulation order per
+        // input length: results must not move with the worker count
+        // (CI pins 1 / default / 8) or with the `MORPHEUS_SIMD` gate, and
+        // must agree with a plain sequential fold to rounding.
+        let d = mat(rows, cols, seed);
+        let s = sparse(rows, cols.max(2), seed ^ 0x5EED);
+        let reduce = |d: &DenseMatrix, s: &CsrMatrix| {
+            (
+                d.sum(),
+                d.row_sums(),
+                d.row_min(),
+                d.row_max(),
+                d.frobenius_norm(),
+                s.sum(),
+                s.row_sums(),
+                s.frobenius_norm(),
+            )
+        };
+        let base = reduce(&d, &s);
+        let configured = Runtime::threads();
+        for t in [1usize, 8] {
+            Runtime::set_threads(t);
+            let got = reduce(&d, &s);
+            Runtime::set_threads(configured);
+            prop_assert_eq!(&got, &base);
+        }
+        let was_enabled = Runtime::simd_enabled();
+        Runtime::set_simd(false);
+        let gated = reduce(&d, &s);
+        Runtime::set_simd(was_enabled);
+        prop_assert_eq!(&gated, &base);
+        // Tolerance agreement with the naive sequential folds.
+        let naive_sum: f64 = d.as_slice().iter().sum();
+        let naive_sq: f64 = d.as_slice().iter().map(|v| v * v).sum();
+        let tol = 1e-12 * (rows * cols) as f64;
+        prop_assert!((base.0 - naive_sum).abs() <= tol);
+        prop_assert!((base.4 - naive_sq.sqrt()).abs() <= tol);
+        for i in 0..rows {
+            let row = &d.as_slice()[i * cols..(i + 1) * cols];
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(base.2.get(i, 0), min);
+            prop_assert_eq!(base.3.get(i, 0), max);
+        }
     }
 
     #[test]
