@@ -1,0 +1,118 @@
+//! Criterion benches for the script-level planner: planning cost cold vs
+//! warm (the keyed plan cache), and end-to-end script evaluation with the
+//! greedy per-statement interpreter vs the planned evaluator (CSE +
+//! fusion) on a workload with shared subexpressions.
+//!
+//! The headline contract: with a warm cache, serving a plan is a hash
+//! lookup — a small fraction of even a cheap script's evaluation — and
+//! the planned evaluator beats the interpreter on scripts that repeat
+//! work, with bit-identical results (asserted here before timing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_core::{MachineProfile, NormalizedMatrix, Strategy};
+use morpheus_data::synth::PkFkSpec;
+use morpheus_lang::{
+    eval_plan, eval_program, parse, plan_cache_reset, plan_cache_stats, plan_program, Env, Value,
+};
+use std::hint::black_box;
+
+/// A script whose statements repeat factorized work: two textually
+/// identical Gram pseudo-inverses plus a loop-invariant cross-product.
+/// The interpreter runs `crossprod(T)` ten times and `ginv` twice; the
+/// planned evaluator runs each once.
+const SCRIPT: &str = "g = ginv(crossprod(T))\n\
+                      h = ginv(crossprod(T))\n\
+                      s = 0\n\
+                      for (i in 1:8) { s = s + sum(crossprod(T)) }\n\
+                      sum(g) + sum(h) + s";
+
+fn dataset() -> NormalizedMatrix {
+    PkFkSpec::from_ratios(10.0, 2.0, 500, 20, 42).generate().tn
+}
+
+fn env_for(tn: &NormalizedMatrix, strategy: Strategy) -> Env {
+    let mut env = Env::new();
+    env.bind(
+        "T",
+        Value::Normalized(
+            morpheus_core::PlannedMatrix::with_strategy(tn.clone(), strategy)
+                .with_profile(MachineProfile::REFERENCE),
+        ),
+    );
+    env
+}
+
+fn scalar(v: &Value) -> f64 {
+    v.as_scalar().expect("script ends in a scalar")
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let tn = dataset();
+    let program = parse(SCRIPT).unwrap();
+    // Cost-based binding: planning includes the whole-script verdict
+    // simulation, the most expensive part of a cold plan.
+    let env = env_for(&tn, Strategy::CostBased);
+
+    let mut g = c.benchmark_group("plan_cache");
+    g.bench_function("plan/cold", |b| {
+        b.iter(|| {
+            plan_cache_reset();
+            black_box(plan_program(&program, &env))
+        })
+    });
+    plan_cache_reset();
+    plan_program(&program, &env); // prime
+    g.bench_function("plan/warm", |b| {
+        b.iter(|| black_box(plan_program(&program, &env)))
+    });
+    let stats = plan_cache_stats();
+    println!(
+        "plan_cache: {} hit(s), {} miss(es) after warm loop",
+        stats.hits, stats.misses
+    );
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let tn = dataset();
+    let program = parse(SCRIPT).unwrap();
+
+    // Bit-identity sanity check before timing: AlwaysFactorize routing is
+    // schedule-independent, so interpreter and planned evaluator must
+    // agree to the last bit.
+    let vi = eval_program(&program, &mut env_for(&tn, Strategy::AlwaysFactorize)).unwrap();
+    let plan = plan_program(&program, &env_for(&tn, Strategy::AlwaysFactorize));
+    let vp = eval_plan(&plan, &mut env_for(&tn, Strategy::AlwaysFactorize)).unwrap();
+    assert_eq!(
+        scalar(&vi).to_bits(),
+        scalar(&vp).to_bits(),
+        "planned evaluation must be bit-identical to the interpreter"
+    );
+
+    let mut g = c.benchmark_group("plan_cache");
+    g.bench_function("eval/interpreter-greedy", |b| {
+        b.iter(|| {
+            let mut env = env_for(&tn, Strategy::AlwaysFactorize);
+            black_box(eval_program(&program, &mut env).unwrap())
+        })
+    });
+    g.bench_function("eval/planned-warm", |b| {
+        b.iter(|| {
+            let mut env = env_for(&tn, Strategy::AlwaysFactorize);
+            black_box(eval_plan(&plan, &mut env).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_planning(c);
+    bench_eval(c);
+}
+
+criterion_group! {
+    name = plan_cache;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(plan_cache);

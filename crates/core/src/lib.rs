@@ -70,5 +70,5 @@ pub use error::{CoreError, CoreResult, MorpheusError, Result};
 pub use matrix::Matrix;
 pub use normalized::{AttributePart, Indicator, JoinStats, NormalizedMatrix};
 pub use ops_trait::LinearOperand;
-pub use planner::{Decision, DecisionHook, PlannedMatrix, Strategy, STRATEGY_ENV};
+pub use planner::{Decision, DecisionHook, PlannedMatrix, ScriptDecision, Strategy, STRATEGY_ENV};
 pub use profile::{DenseTier, MachineProfile, PROFILE_FORMAT_VERSION, PROFILE_PATH_ENV};

@@ -1,7 +1,7 @@
 //! The abstract syntax tree for the R-like LA subset.
 
 /// Element-wise / matrix binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+` (element-wise).
     Add,
@@ -20,7 +20,7 @@ pub enum BinOp {
 }
 
 /// Built-in unary LA functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryFn {
     /// `t(x)` — transpose.
     Transpose,
@@ -106,13 +106,27 @@ pub enum Expr {
     Ones(Box<Expr>, Box<Expr>),
 }
 
-/// Statements.
+/// Statements. Every variant carries the 1-based source line it starts
+/// on, so runtime errors can point back at the script — and the optimizer
+/// and script planner preserve the span through their rewrites.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `name = expr` / `name <- expr`.
-    Assign(String, Expr),
+    Assign {
+        /// Bound name.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
     /// Bare expression; its value becomes the program result if last.
-    Expr(Expr),
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// 1-based source line.
+        line: usize,
+    },
     /// `for (v in a:b) { body }` — inclusive integer range, like R.
     For {
         /// Loop variable (bound to the integer as a scalar).
@@ -123,7 +137,18 @@ pub enum Stmt {
         to: Expr,
         /// Loop body.
         body: Vec<Stmt>,
+        /// 1-based source line of the `for` keyword.
+        line: usize,
     },
+}
+
+impl Stmt {
+    /// The 1-based source line the statement starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Assign { line, .. } | Stmt::Expr { line, .. } | Stmt::For { line, .. } => *line,
+        }
+    }
 }
 
 /// A parsed script: a sequence of statements.
@@ -146,7 +171,7 @@ impl Program {
         }
         fn count_stmt(s: &Stmt) -> usize {
             match s {
-                Stmt::Assign(_, e) | Stmt::Expr(e) => count_expr(e),
+                Stmt::Assign { expr, .. } | Stmt::Expr { expr, .. } => count_expr(expr),
                 Stmt::For { from, to, body, .. } => {
                     count_expr(from) + count_expr(to) + body.iter().map(count_stmt).sum::<usize>()
                 }
@@ -184,15 +209,17 @@ mod tests {
     #[test]
     fn expr_count_walks_the_tree() {
         let p = Program {
-            stmts: vec![Stmt::Assign(
-                "x".into(),
-                Expr::Bin(
+            stmts: vec![Stmt::Assign {
+                name: "x".into(),
+                expr: Expr::Bin(
                     BinOp::Add,
                     Box::new(Expr::Number(1.0)),
                     Box::new(Expr::Neg(Box::new(Expr::Var("y".into())))),
                 ),
-            )],
+                line: 1,
+            }],
         };
         assert_eq!(p.expr_count(), 4);
+        assert_eq!(p.stmts[0].line(), 1);
     }
 }

@@ -111,18 +111,26 @@ pub fn eval_program(program: &Program, env: &mut Env) -> Result<Value, LangError
 }
 
 fn eval_stmt(stmt: &Stmt, env: &mut Env) -> Result<Value, LangError> {
+    // Runtime errors surface with the statement's source line; nested
+    // statements (loop bodies) already annotated theirs, so the innermost
+    // span wins.
+    eval_stmt_inner(stmt, env).map_err(|e| e.at(stmt.line()))
+}
+
+fn eval_stmt_inner(stmt: &Stmt, env: &mut Env) -> Result<Value, LangError> {
     match stmt {
-        Stmt::Assign(name, expr) => {
+        Stmt::Assign { name, expr, .. } => {
             let v = eval_expr(expr, env)?;
             env.bind(name, v.clone());
             Ok(v)
         }
-        Stmt::Expr(expr) => eval_expr(expr, env),
+        Stmt::Expr { expr, .. } => eval_expr(expr, env),
         Stmt::For {
             var,
             from,
             to,
             body,
+            ..
         } => {
             let lo = expect_scalar(&eval_expr(from, env)?, "for-range start")?;
             let hi = expect_scalar(&eval_expr(to, env)?, "for-range end")?;
@@ -139,7 +147,7 @@ fn eval_stmt(stmt: &Stmt, env: &mut Env) -> Result<Value, LangError> {
     }
 }
 
-fn expect_scalar(v: &Value, what: &str) -> Result<f64, LangError> {
+pub(crate) fn expect_scalar(v: &Value, what: &str) -> Result<f64, LangError> {
     v.as_scalar()
         .ok_or_else(|| LangError::Type(format!("{what} must be a scalar, got {}", v.kind())))
 }
@@ -182,7 +190,7 @@ fn shape_err(op: &str, a: (usize, usize), b: (usize, usize)) -> LangError {
     LangError::Shape(format!("{op}: {}x{} vs {}x{}", a.0, a.1, b.0, b.1))
 }
 
-fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
+pub(crate) fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, LangError> {
     use BinOp::*;
     use Value::*;
     match (op, l, r) {
@@ -344,7 +352,7 @@ fn op_name(op: BinOp) -> &'static str {
     }
 }
 
-fn eval_call(f: UnaryFn, v: Value) -> Result<Value, LangError> {
+pub(crate) fn eval_call(f: UnaryFn, v: Value) -> Result<Value, LangError> {
     use UnaryFn::*;
     Ok(match (f, v) {
         // Scalar fast paths.
@@ -473,10 +481,22 @@ mod tests {
         let program = parse("T %*% T").unwrap();
         let mut env = Env::new();
         env.bind("T", Value::normalized(tn));
-        assert!(matches!(
-            eval_program(&program, &mut env),
-            Err(LangError::Shape(_))
-        ));
+        let err = eval_program(&program, &mut env).unwrap_err();
+        assert!(matches!(err.root(), LangError::Shape(_)));
+    }
+
+    #[test]
+    fn runtime_errors_carry_statement_lines() {
+        let program = parse("x = 1\ny = x\nz = nope + 1").unwrap();
+        let mut env = Env::new();
+        let err = eval_program(&program, &mut env).unwrap_err();
+        assert!(matches!(err, LangError::At { line: 3, .. }), "{err:?}");
+        assert!(matches!(err.root(), LangError::Undefined(n) if n == "nope"));
+        assert_eq!(err.to_string(), "line 3: undefined variable 'nope'");
+        // Inside a loop body, the innermost statement's line wins.
+        let program = parse("for (i in 1:2) {\n  q = missing\n}").unwrap();
+        let err = eval_program(&program, &mut Env::new()).unwrap_err();
+        assert!(matches!(err, LangError::At { line: 2, .. }), "{err:?}");
     }
 
     #[test]

@@ -63,10 +63,15 @@ mod ast;
 mod eval;
 mod optimize;
 mod parser;
+mod plan;
 mod token;
 
 pub use ast::{BinOp, Expr, Program, Stmt, UnaryFn};
 pub use eval::{eval_expr, eval_program, Env, Value};
 pub use optimize::optimize;
 pub use parser::{parse, parse_expr};
+pub use plan::{
+    eval_plan, plan_cache_reset, plan_cache_stats, plan_program, run_program, PlanCacheStats,
+    ScriptPlan, PLAN_CACHE_ENV,
+};
 pub use token::LangError;

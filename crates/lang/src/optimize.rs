@@ -8,12 +8,36 @@
 //! * `t(t(x)) → x` — double-transpose elimination (the transpose *flag*
 //!   makes single transposes free, but the AST node still costs a clone);
 //! * scalar constant folding (`2 * 3 → 6`, `exp(0) → 1`);
-//! * `x + 0`, `x * 1`, `x * 0` simplifications for scalar literals.
+//! * `x + 0`, `x * 1`, `x / 1` simplifications for scalar literals.
+//!
+//! The pass runs to **fixpoint**: rewrite passes repeat until the program
+//! stops changing (with a safety cap), so a rewrite exposed by an earlier
+//! one is never missed as the rule set grows. Statement source lines are
+//! preserved verbatim, so runtime errors on optimized programs point at
+//! the same script lines as on the original.
 
 use crate::ast::{BinOp, Expr, Program, Stmt, UnaryFn};
 
-/// Optimizes a whole program.
+/// Rewrite passes are repeated until the program stops changing; the cap
+/// bounds pathological rule interactions (the current rule set converges
+/// in one bottom-up pass, so hitting it would be a rule-set bug).
+const MAX_PASSES: usize = 8;
+
+/// Optimizes a whole program (to fixpoint).
 pub fn optimize(program: &Program) -> Program {
+    let mut current = opt_pass(program);
+    for _ in 1..MAX_PASSES {
+        let next = opt_pass(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+/// One bottom-up rewrite pass over every statement.
+fn opt_pass(program: &Program) -> Program {
     Program {
         stmts: program.stmts.iter().map(opt_stmt).collect(),
     }
@@ -21,18 +45,27 @@ pub fn optimize(program: &Program) -> Program {
 
 fn opt_stmt(stmt: &Stmt) -> Stmt {
     match stmt {
-        Stmt::Assign(name, e) => Stmt::Assign(name.clone(), opt_expr(e)),
-        Stmt::Expr(e) => Stmt::Expr(opt_expr(e)),
+        Stmt::Assign { name, expr, line } => Stmt::Assign {
+            name: name.clone(),
+            expr: opt_expr(expr),
+            line: *line,
+        },
+        Stmt::Expr { expr, line } => Stmt::Expr {
+            expr: opt_expr(expr),
+            line: *line,
+        },
         Stmt::For {
             var,
             from,
             to,
             body,
+            line,
         } => Stmt::For {
             var: var.clone(),
             from: opt_expr(from),
             to: opt_expr(to),
             body: body.iter().map(opt_stmt).collect(),
+            line: *line,
         },
     }
 }
@@ -154,6 +187,34 @@ mod tests {
     fn non_constant_structure_preserved() {
         let e = opt("t(T) %*% p");
         assert!(matches!(e, Expr::Bin(BinOp::MatMul, _, _)));
+    }
+
+    #[test]
+    fn optimize_reaches_a_fixpoint_and_is_idempotent() {
+        for src in [
+            "t(t(t(t(X)))) * 1 + 0 * 1",
+            "w = w + a * (t(T) %*% (Y / (1 + exp(Y * (T %*% w)))))",
+            "for (i in 1:3) { x = (x + 0) / 1 }\n--x ^ 1",
+        ] {
+            let p = parse(src).unwrap();
+            let once = optimize(&p);
+            let twice = optimize(&once);
+            assert_eq!(once, twice, "optimize not a fixpoint for {src:?}");
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_statement_lines() {
+        let p = parse("a = 1 * 1\nb = t(t(X))\nfor (i in 1:2) {\n  c = a + 0\n}").unwrap();
+        let po = optimize(&p);
+        for (s, so) in p.stmts.iter().zip(&po.stmts) {
+            assert_eq!(s.line(), so.line());
+        }
+        let (Stmt::For { body, .. }, Stmt::For { body: bo, .. }) = (&p.stmts[2], &po.stmts[2])
+        else {
+            panic!("expected for statements");
+        };
+        assert_eq!(body[0].line(), bo[0].line());
     }
 
     #[test]

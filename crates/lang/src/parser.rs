@@ -79,21 +79,29 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
         if self.eat(&TokenKind::For) {
-            return self.for_stmt();
+            return self.for_stmt(line);
         }
         // Lookahead for `ident =`.
         if let Some(TokenKind::Ident(name)) = self.peek().cloned() {
             if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Assign) {
                 self.pos += 2;
                 let value = self.expr()?;
-                return Ok(Stmt::Assign(name, value));
+                return Ok(Stmt::Assign {
+                    name,
+                    expr: value,
+                    line,
+                });
             }
         }
-        Ok(Stmt::Expr(self.expr()?))
+        Ok(Stmt::Expr {
+            expr: self.expr()?,
+            line,
+        })
     }
 
-    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+    fn for_stmt(&mut self, line: usize) -> Result<Stmt, LangError> {
         self.expect(TokenKind::LParen, "'(' after for")?;
         let var = match self.bump() {
             Some(TokenKind::Ident(name)) => name,
@@ -118,6 +126,7 @@ impl Parser {
             from,
             to,
             body,
+            line,
         })
     }
 
@@ -287,7 +296,7 @@ pub fn parse(src: &str) -> Result<Program, LangError> {
 pub fn parse_expr(src: &str) -> Result<Expr, LangError> {
     let program = parse(src)?;
     match program.stmts.as_slice() {
-        [Stmt::Expr(e)] => Ok(e.clone()),
+        [Stmt::Expr { expr, .. }] => Ok(expr.clone()),
         _ => Err(LangError::Parse {
             line: 1,
             msg: "expected a single expression".into(),
@@ -352,7 +361,7 @@ mod tests {
         let p1 = parse("w = a + 1").unwrap();
         let p2 = parse("w <- a + 1").unwrap();
         assert_eq!(p1, p2);
-        assert!(matches!(p1.stmts[0], Stmt::Assign(ref n, _) if n == "w"));
+        assert!(matches!(p1.stmts[0], Stmt::Assign { ref name, .. } if name == "w"));
     }
 
     #[test]
@@ -364,6 +373,10 @@ mod tests {
         };
         assert_eq!(var, "i");
         assert_eq!(body.len(), 1);
+        // Statements carry their source lines (for runtime error spans).
+        assert_eq!(p.stmts[0].line(), 1);
+        assert_eq!(body[0].line(), 2);
+        assert_eq!(p.stmts[1].line(), 4);
     }
 
     #[test]

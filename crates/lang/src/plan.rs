@@ -1,0 +1,1765 @@
+//! Holistic script-level planning: common-subexpression elimination,
+//! element-wise fusion, whole-script materialize verdicts, and a keyed
+//! plan cache.
+//!
+//! The per-operator planner ([`morpheus_core::PlannedMatrix`]) is greedy:
+//! every call compares the factorized rewrite against the materialized
+//! route *in isolation*. A script sees more: the same subexpression may be
+//! evaluated many times (loop-invariant factors like `t(T)` in gradient
+//! descent), chains of scalar operators each allocate an intermediate, and
+//! a join that loses to every individual operator can still win once its
+//! one-time cost is compared against the *sum* of per-use deltas. This
+//! module plans at that level:
+//!
+//! 1. **CSE** — the optimized AST is hash-consed into a DAG
+//!    ([`plan_program`]); at evaluation time each distinct node is
+//!    computed once and reused until a variable it reads is rebound
+//!    (per-variable generation stamps), so repeated subexpressions and
+//!    loop-invariant factors are evaluated once instead of per use.
+//! 2. **Element-wise fusion** — adjacent scalar-operator links
+//!    (`T*2 + 1`, `1 + exp(..)`, `-x`, `sigmoid(..)`) are folded into one
+//!    fused node. On dense and scalar values the whole chain runs as a
+//!    single pass (one allocation instead of one per link); on normalized
+//!    values the chain replays through the per-operator planner link by
+//!    link, so routing decisions — and therefore numerics — are exactly
+//!    the interpreter's.
+//! 3. **Whole-script materialize verdicts** — every operator the script
+//!    will apply to a normalized free variable is collected (loop bodies
+//!    multiplied by their trip counts, transposed views mapped through
+//!    [`OpKind::dual`]) and handed to
+//!    [`morpheus_core::PlannedMatrix::plan_script`]; an up-front
+//!    materialize verdict is applied by [`eval_plan`] via
+//!    `prematerialize`, which affects scheduling only, never numerics.
+//! 4. **Plan cache** — plans are memoized process-wide under a key built
+//!    from the canonicalized program structure (source lines excluded),
+//!    the free variables' signatures (scalar value bits, matrix shapes,
+//!    normalized part shapes/sparsity/nnz and strategy), and the machine
+//!    profile's format version. `MORPHEUS_PLAN_CACHE=off` disables it;
+//!    [`plan_cache_stats`] exposes hit/miss counters.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnaryFn};
+use crate::eval::{eval_bin, eval_call, expect_scalar, Env, Value};
+use crate::optimize::optimize;
+use crate::token::LangError;
+use morpheus_core::cost::OpKind;
+use morpheus_core::{PlannedMatrix, ScriptDecision, Strategy, PROFILE_FORMAT_VERSION};
+use morpheus_dense::DenseMatrix;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable gating the process-wide plan cache: set to `off`
+/// (also `0`, `false`, `no`; case-insensitive) to plan every script from
+/// scratch. Read once, at first use, like the other `MORPHEUS_*` knobs.
+pub const PLAN_CACHE_ENV: &str = "MORPHEUS_PLAN_CACHE";
+
+/// Entries kept in the process-wide plan cache before it is cleared
+/// wholesale (plans are small; whole-cache eviction keeps the bookkeeping
+/// trivial and bounds memory).
+const PLAN_CACHE_CAPACITY: usize = 1024;
+
+/// Loop trip counts beyond this are counted as this many repetitions when
+/// collecting per-variable operator uses (the verdict has long converged
+/// by then, and the greedy simulation in `estimate_script` is linear in
+/// the use count).
+const MAX_COUNTED_TRIPS: u64 = 64;
+
+/// Hard cap on the collected use list per normalized variable.
+const MAX_USES_PER_VAR: usize = 4096;
+
+// ---------------------------------------------------------------------
+// The plan IR: a hash-consed DAG with fused scalar chains
+// ---------------------------------------------------------------------
+
+/// One link of a fused element-wise chain, with the scalar operand baked
+/// in. Application mirrors the interpreter's dispatch exactly: on scalar
+/// values the `(op, scalar, scalar)` arm of `eval_bin`, on dense values
+/// the `DenseMatrix` scalar kernels (including their `x^2 → x*x` special
+/// case), and on normalized values the corresponding `PlannedMatrix`
+/// closure operator.
+#[derive(Debug, Clone, Copy)]
+enum ScalarStep {
+    /// `x + c`.
+    AddC(f64),
+    /// `x - c`.
+    SubC(f64),
+    /// `c - x`.
+    RsubC(f64),
+    /// `x * c` (also `-x` as `x * -1` and `%*%` with a scalar literal).
+    MulC(f64),
+    /// `x / c`.
+    DivC(f64),
+    /// `c / x`.
+    RdivC(f64),
+    /// `x ^ c`.
+    PowC(f64),
+    /// `c ^ x`.
+    RpowC(f64),
+    /// `exp(x)`.
+    Exp,
+    /// `log(x)`.
+    Log,
+    /// `sigmoid(x)`.
+    Sigmoid,
+}
+
+impl ScalarStep {
+    /// A hashable identity: variant code plus the operand's bit pattern.
+    fn code_bits(self) -> (u8, u64) {
+        match self {
+            ScalarStep::AddC(c) => (0, c.to_bits()),
+            ScalarStep::SubC(c) => (1, c.to_bits()),
+            ScalarStep::RsubC(c) => (2, c.to_bits()),
+            ScalarStep::MulC(c) => (3, c.to_bits()),
+            ScalarStep::DivC(c) => (4, c.to_bits()),
+            ScalarStep::RdivC(c) => (5, c.to_bits()),
+            ScalarStep::PowC(c) => (6, c.to_bits()),
+            ScalarStep::RpowC(c) => (7, c.to_bits()),
+            ScalarStep::Exp => (8, 0),
+            ScalarStep::Log => (9, 0),
+            ScalarStep::Sigmoid => (10, 0),
+        }
+    }
+
+    /// The step on a scalar value — the `(op, Scalar, Scalar)` arms of
+    /// `eval_bin` (`^` is always `powf` there, with no square special
+    /// case).
+    fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            ScalarStep::AddC(c) => x + c,
+            ScalarStep::SubC(c) => x - c,
+            ScalarStep::RsubC(c) => c - x,
+            ScalarStep::MulC(c) => x * c,
+            ScalarStep::DivC(c) => x / c,
+            ScalarStep::RdivC(c) => c / x,
+            ScalarStep::PowC(c) => x.powf(c),
+            ScalarStep::RpowC(c) => c.powf(x),
+            ScalarStep::Exp => x.exp(),
+            ScalarStep::Log => x.ln(),
+            ScalarStep::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// The step on one matrix element. Identical to [`Self::apply_scalar`]
+    /// except `^2`, which the dense and sparse scalar-pow kernels compute
+    /// as `x * x` — the fused pass must match them bit for bit.
+    fn apply_elem(self, x: f64) -> f64 {
+        match self {
+            ScalarStep::PowC(2.0) => x * x,
+            other => other.apply_scalar(x),
+        }
+    }
+
+    /// The step on a planned normalized matrix: exactly the call the
+    /// interpreter's dispatch would have made, so per-operator routing
+    /// (and with it bit-identity) is preserved.
+    fn apply_planned(self, t: &PlannedMatrix) -> PlannedMatrix {
+        match self {
+            ScalarStep::AddC(c) => t.scalar_add(c),
+            ScalarStep::SubC(c) => t.scalar_sub(c),
+            ScalarStep::RsubC(c) => t.scalar_rsub(c),
+            ScalarStep::MulC(c) => t.scalar_mul(c),
+            ScalarStep::DivC(c) => t.scalar_div(c),
+            ScalarStep::RdivC(c) => t.scalar_rdiv(c),
+            ScalarStep::PowC(c) => t.scalar_pow(c),
+            ScalarStep::RpowC(c) => t.map(move |v| c.powf(v)),
+            ScalarStep::Exp => t.exp(),
+            ScalarStep::Log => t.ln(),
+            ScalarStep::Sigmoid => t.map(|x| 1.0 / (1.0 + (-x).exp())),
+        }
+    }
+}
+
+impl PartialEq for ScalarStep {
+    fn eq(&self, other: &Self) -> bool {
+        self.code_bits() == other.code_bits()
+    }
+}
+
+impl Eq for ScalarStep {}
+
+impl Hash for ScalarStep {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.code_bits().hash(state);
+    }
+}
+
+/// A DAG node. Variables are interned (`u32` indices into
+/// [`ScriptPlan::vars`]), literals carry their bit pattern so the node is
+/// hashable, and fused chains keep their base plus the step list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKind {
+    /// A literal, as `f64` bits.
+    Number(u64),
+    /// A variable read.
+    Var(u32),
+    /// A binary operator that did not fuse.
+    Bin(BinOp, usize, usize),
+    /// A unary builtin that did not fuse (`t`, aggregations, `ginv`, ...).
+    Call(UnaryFn, usize),
+    /// `zeros(r, c)`.
+    Zeros(usize, usize),
+    /// `ones(r, c)`.
+    Ones(usize, usize),
+    /// A fused element-wise chain over a base node.
+    Fused(usize, Box<[ScalarStep]>),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    /// Sorted variable ids this subtree reads — the CSE invalidation set.
+    deps: Box<[u32]>,
+}
+
+/// A statement over DAG nodes; source lines ride along so runtime errors
+/// on planned programs point at the same script lines as on the
+/// interpreter.
+#[derive(Debug, Clone)]
+enum PStmt {
+    Assign {
+        var: u32,
+        node: usize,
+        line: usize,
+    },
+    Expr {
+        node: usize,
+        line: usize,
+    },
+    For {
+        var: u32,
+        from: usize,
+        to: usize,
+        body: Vec<PStmt>,
+        line: usize,
+    },
+}
+
+impl PStmt {
+    fn line(&self) -> usize {
+        match self {
+            PStmt::Assign { line, .. } | PStmt::Expr { line, .. } | PStmt::For { line, .. } => {
+                *line
+            }
+        }
+    }
+}
+
+/// A compiled script: the hash-consed DAG, the statement list over it,
+/// and the whole-script materialize verdicts for the environment it was
+/// planned against. Build one with [`plan_program`], run it with
+/// [`eval_plan`] (or both at once with [`run_program`]).
+#[derive(Debug, Clone)]
+pub struct ScriptPlan {
+    nodes: Vec<Node>,
+    stmts: Vec<PStmt>,
+    vars: Vec<String>,
+    premat: Vec<(String, ScriptDecision)>,
+}
+
+impl ScriptPlan {
+    /// Number of distinct DAG nodes (repeated subexpressions share one).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of fused element-wise chains of at least two links.
+    pub fn fused_chain_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(&n.kind, NodeKind::Fused(_, steps) if steps.len() >= 2))
+            .count()
+    }
+
+    /// The whole-script verdicts reached for normalized free variables:
+    /// one entry per variable the cost-based planner was asked about.
+    /// Variables with `materialize_upfront` are pre-materialized by
+    /// [`eval_plan`].
+    pub fn premat_decisions(&self) -> &[(String, ScriptDecision)] {
+        &self.premat
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering: AST -> hash-consed DAG with fusion
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Lowering {
+    nodes: Vec<Node>,
+    cons: HashMap<NodeKind, usize>,
+    vars: Vec<String>,
+    var_ids: HashMap<String, u32>,
+}
+
+impl Lowering {
+    fn var_id(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.var_ids.get(name) {
+            return id;
+        }
+        let id = self.vars.len() as u32;
+        self.vars.push(name.to_string());
+        self.var_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn deps_of(&self, kind: &NodeKind) -> Box<[u32]> {
+        fn merge(a: &[u32], b: &[u32]) -> Box<[u32]> {
+            let mut out: Vec<u32> = a.iter().chain(b).copied().collect();
+            out.sort_unstable();
+            out.dedup();
+            out.into()
+        }
+        match kind {
+            NodeKind::Number(_) => Box::from([]),
+            NodeKind::Var(v) => Box::from([*v]),
+            NodeKind::Bin(_, l, r) | NodeKind::Zeros(l, r) | NodeKind::Ones(l, r) => {
+                merge(&self.nodes[*l].deps, &self.nodes[*r].deps)
+            }
+            NodeKind::Call(_, a) | NodeKind::Fused(a, _) => self.nodes[*a].deps.clone(),
+        }
+    }
+
+    fn intern(&mut self, kind: NodeKind) -> usize {
+        if let Some(&id) = self.cons.get(&kind) {
+            return id;
+        }
+        let deps = self.deps_of(&kind);
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            kind: kind.clone(),
+            deps,
+        });
+        self.cons.insert(kind, id);
+        id
+    }
+
+    /// The literal value of a node, when it is one.
+    fn literal(&self, id: usize) -> Option<f64> {
+        match self.nodes[id].kind {
+            NodeKind::Number(bits) => Some(f64::from_bits(bits)),
+            _ => None,
+        }
+    }
+
+    /// Appends one step to `base`, extending an existing fused chain.
+    fn step_onto(&mut self, base: usize, step: ScalarStep) -> usize {
+        let kind = match &self.nodes[base].kind {
+            NodeKind::Fused(inner, steps) => {
+                let mut all = steps.to_vec();
+                all.push(step);
+                NodeKind::Fused(*inner, all.into())
+            }
+            _ => NodeKind::Fused(base, Box::from([step])),
+        };
+        self.intern(kind)
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> usize {
+        match expr {
+            Expr::Number(v) => self.intern(NodeKind::Number(v.to_bits())),
+            Expr::Var(name) => {
+                let v = self.var_id(name);
+                self.intern(NodeKind::Var(v))
+            }
+            // The interpreter evaluates `-x` as `(-1) * x`; fuse it the
+            // same way (IEEE multiplication is commutative bitwise).
+            Expr::Neg(inner) => {
+                let base = self.lower_expr(inner);
+                self.step_onto(base, ScalarStep::MulC(-1.0))
+            }
+            Expr::Call(f, arg) => {
+                let base = self.lower_expr(arg);
+                match f {
+                    UnaryFn::Exp => self.step_onto(base, ScalarStep::Exp),
+                    UnaryFn::Log => self.step_onto(base, ScalarStep::Log),
+                    UnaryFn::Sigmoid => self.step_onto(base, ScalarStep::Sigmoid),
+                    _ => self.intern(NodeKind::Call(*f, base)),
+                }
+            }
+            Expr::Zeros(r, c) => {
+                let (rn, cn) = (self.lower_expr(r), self.lower_expr(c));
+                self.intern(NodeKind::Zeros(rn, cn))
+            }
+            Expr::Ones(r, c) => {
+                let (rn, cn) = (self.lower_expr(r), self.lower_expr(c));
+                self.intern(NodeKind::Ones(rn, cn))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let l = self.lower_expr(lhs);
+                let r = self.lower_expr(rhs);
+                // A binary op with one literal operand is a fusable
+                // scalar link (`%*%` with a scalar recycles to `*`, as in
+                // the interpreter). `==` is never fused: its matrix form
+                // is an indicator build, not a scalar chain.
+                let step = match (op, self.literal(l), self.literal(r)) {
+                    (BinOp::Add, _, Some(c)) => Some((l, ScalarStep::AddC(c))),
+                    (BinOp::Add, Some(c), _) => Some((r, ScalarStep::AddC(c))),
+                    (BinOp::Sub, _, Some(c)) => Some((l, ScalarStep::SubC(c))),
+                    (BinOp::Sub, Some(c), _) => Some((r, ScalarStep::RsubC(c))),
+                    (BinOp::Mul | BinOp::MatMul, _, Some(c)) => Some((l, ScalarStep::MulC(c))),
+                    (BinOp::Mul | BinOp::MatMul, Some(c), _) => Some((r, ScalarStep::MulC(c))),
+                    (BinOp::Div, _, Some(c)) => Some((l, ScalarStep::DivC(c))),
+                    (BinOp::Div, Some(c), _) => Some((r, ScalarStep::RdivC(c))),
+                    (BinOp::Pow, _, Some(c)) => Some((l, ScalarStep::PowC(c))),
+                    (BinOp::Pow, Some(c), _) => Some((r, ScalarStep::RpowC(c))),
+                    _ => None,
+                };
+                match step {
+                    Some((base, s)) => self.step_onto(base, s),
+                    None => self.intern(NodeKind::Bin(*op, l, r)),
+                }
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> PStmt {
+        match stmt {
+            Stmt::Assign { name, expr, line } => {
+                let node = self.lower_expr(expr);
+                PStmt::Assign {
+                    var: self.var_id(name),
+                    node,
+                    line: *line,
+                }
+            }
+            Stmt::Expr { expr, line } => PStmt::Expr {
+                node: self.lower_expr(expr),
+                line: *line,
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+            } => {
+                let from = self.lower_expr(from);
+                let to = self.lower_expr(to);
+                let body = body.iter().map(|s| self.lower_stmt(s)).collect();
+                PStmt::For {
+                    var: self.var_id(var),
+                    from,
+                    to,
+                    body,
+                    line: *line,
+                }
+            }
+        }
+    }
+}
+
+/// Lowers an (already optimized) program into a plan skeleton: DAG +
+/// statements, with the premat verdicts still empty.
+fn lower(program: &Program) -> ScriptPlan {
+    let mut lowering = Lowering::default();
+    let stmts = program
+        .stmts
+        .iter()
+        .map(|s| lowering.lower_stmt(s))
+        .collect();
+    // Chain-building leaves prefix Fused nodes (`T^2` inside
+    // `T^2 / 3`) that nothing references; sweep them so node counts,
+    // chain counts, and cache keys reflect only live structure.
+    let (nodes, stmts) = sweep(lowering.nodes, stmts);
+    ScriptPlan {
+        nodes,
+        stmts,
+        vars: lowering.vars,
+        premat: Vec::new(),
+    }
+}
+
+fn mark_node(nodes: &[Node], id: usize, live: &mut [bool]) {
+    if live[id] {
+        return;
+    }
+    live[id] = true;
+    match &nodes[id].kind {
+        NodeKind::Number(_) | NodeKind::Var(_) => {}
+        NodeKind::Bin(_, l, r) | NodeKind::Zeros(l, r) | NodeKind::Ones(l, r) => {
+            mark_node(nodes, *l, live);
+            mark_node(nodes, *r, live);
+        }
+        NodeKind::Call(_, a) | NodeKind::Fused(a, _) => mark_node(nodes, *a, live),
+    }
+}
+
+fn mark_stmts(nodes: &[Node], stmts: &[PStmt], live: &mut [bool]) {
+    for s in stmts {
+        match s {
+            PStmt::Assign { node, .. } | PStmt::Expr { node, .. } => mark_node(nodes, *node, live),
+            PStmt::For { from, to, body, .. } => {
+                mark_node(nodes, *from, live);
+                mark_node(nodes, *to, live);
+                mark_stmts(nodes, body, live);
+            }
+        }
+    }
+}
+
+fn remap_stmts(stmts: Vec<PStmt>, remap: &[usize]) -> Vec<PStmt> {
+    stmts
+        .into_iter()
+        .map(|s| match s {
+            PStmt::Assign { var, node, line } => PStmt::Assign {
+                var,
+                node: remap[node],
+                line,
+            },
+            PStmt::Expr { node, line } => PStmt::Expr {
+                node: remap[node],
+                line,
+            },
+            PStmt::For {
+                var,
+                from,
+                to,
+                body,
+                line,
+            } => PStmt::For {
+                var,
+                from: remap[from],
+                to: remap[to],
+                body: remap_stmts(body, remap),
+                line,
+            },
+        })
+        .collect()
+}
+
+/// Drops nodes unreachable from any statement, compacting indices
+/// (children still precede parents afterwards).
+fn sweep(nodes: Vec<Node>, stmts: Vec<PStmt>) -> (Vec<Node>, Vec<PStmt>) {
+    let mut live = vec![false; nodes.len()];
+    mark_stmts(&nodes, &stmts, &mut live);
+    let mut remap = vec![usize::MAX; nodes.len()];
+    let mut out = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.into_iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let kind = match node.kind {
+            NodeKind::Bin(op, l, r) => NodeKind::Bin(op, remap[l], remap[r]),
+            NodeKind::Zeros(l, r) => NodeKind::Zeros(remap[l], remap[r]),
+            NodeKind::Ones(l, r) => NodeKind::Ones(remap[l], remap[r]),
+            NodeKind::Call(f, a) => NodeKind::Call(f, remap[a]),
+            NodeKind::Fused(a, steps) => NodeKind::Fused(remap[a], steps),
+            leaf => leaf,
+        };
+        remap[i] = out.len();
+        out.push(Node {
+            kind,
+            deps: node.deps,
+        });
+    }
+    let stmts = remap_stmts(stmts, &remap);
+    (out, stmts)
+}
+
+// ---------------------------------------------------------------------
+// Whole-script materialize verdicts
+// ---------------------------------------------------------------------
+
+/// Best-effort static shape of a node, given the planning environment.
+/// `View` tracks a normalized free variable through transposes and
+/// element-wise derivations, so operator uses can be attributed back to
+/// it (dualized per transpose).
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// A scalar with a known value (literal or unrebound env scalar).
+    Num(f64),
+    /// A scalar of unknown value.
+    Scalar,
+    /// A regular matrix of known dimensions.
+    Mat(usize, usize),
+    /// A (possibly transposed / element-wise-derived) view of a
+    /// normalized free variable, with effective dimensions.
+    View {
+        var: u32,
+        transposed: bool,
+        rows: usize,
+        cols: usize,
+    },
+    /// Anything the static pass cannot pin down.
+    Unknown,
+}
+
+impl Shape {
+    fn is_scalar(self) -> bool {
+        matches!(self, Shape::Num(_) | Shape::Scalar)
+    }
+
+    fn dims(self) -> Option<(usize, usize)> {
+        match self {
+            Shape::Mat(r, c)
+            | Shape::View {
+                rows: r, cols: c, ..
+            } => Some((r, c)),
+            _ => None,
+        }
+    }
+
+    fn rows(self) -> Option<usize> {
+        self.dims().map(|(r, _)| r)
+    }
+
+    fn cols(self) -> Option<usize> {
+        self.dims().map(|(_, c)| c)
+    }
+}
+
+/// Variables assigned anywhere in the program, split by how: `assigned`
+/// (targets of `=`, value statically unknown) and `loops` (loop
+/// variables, always scalar during evaluation). Planning-time env
+/// bindings describe neither.
+fn assigned_vars(stmts: &[PStmt], assigned: &mut HashSet<u32>, loops: &mut HashSet<u32>) {
+    for s in stmts {
+        match s {
+            PStmt::Assign { var, .. } => {
+                assigned.insert(*var);
+            }
+            PStmt::Expr { .. } => {}
+            PStmt::For { var, body, .. } => {
+                loops.insert(*var);
+                assigned_vars(body, assigned, loops);
+            }
+        }
+    }
+}
+
+/// One forward pass over the DAG (children always precede parents) that
+/// mirrors the interpreter's shape behavior.
+fn infer_shapes(
+    plan: &ScriptPlan,
+    env: &Env,
+    assigned: &HashSet<u32>,
+    loops: &HashSet<u32>,
+) -> Vec<Shape> {
+    let mut shapes: Vec<Shape> = Vec::with_capacity(plan.nodes.len());
+    for node in &plan.nodes {
+        let shape = match &node.kind {
+            NodeKind::Number(bits) => Shape::Num(f64::from_bits(*bits)),
+            NodeKind::Var(v) => {
+                if assigned.contains(v) {
+                    Shape::Unknown
+                } else if loops.contains(v) {
+                    Shape::Scalar
+                } else {
+                    match env.get(&plan.vars[*v as usize]) {
+                        Some(Value::Scalar(x)) => Shape::Num(*x),
+                        Some(Value::Dense(m)) => {
+                            let (r, c) = m.shape();
+                            Shape::Mat(r, c)
+                        }
+                        Some(Value::Normalized(p)) => {
+                            let (r, c) = p.shape();
+                            Shape::View {
+                                var: *v,
+                                transposed: false,
+                                rows: r,
+                                cols: c,
+                            }
+                        }
+                        None => Shape::Unknown,
+                    }
+                }
+            }
+            NodeKind::Fused(base, steps) => match shapes[*base] {
+                Shape::Num(x) => Shape::Num(steps.iter().fold(x, |acc, s| s.apply_scalar(acc))),
+                other => other,
+            },
+            NodeKind::Call(f, a) => {
+                let sa = shapes[*a];
+                match f {
+                    UnaryFn::Transpose => match sa {
+                        Shape::Mat(r, c) => Shape::Mat(c, r),
+                        Shape::View {
+                            var,
+                            transposed,
+                            rows,
+                            cols,
+                        } => Shape::View {
+                            var,
+                            transposed: !transposed,
+                            rows: cols,
+                            cols: rows,
+                        },
+                        s if s.is_scalar() => s,
+                        _ => Shape::Unknown,
+                    },
+                    UnaryFn::RowSums | UnaryFn::RowMin => {
+                        sa.rows().map_or(Shape::Unknown, |r| Shape::Mat(r, 1))
+                    }
+                    UnaryFn::ColSums => sa.cols().map_or(Shape::Unknown, |c| Shape::Mat(1, c)),
+                    UnaryFn::Sum => Shape::Scalar,
+                    UnaryFn::Crossprod => sa.cols().map_or(Shape::Unknown, |c| Shape::Mat(c, c)),
+                    UnaryFn::TCrossprod => sa.rows().map_or(Shape::Unknown, |r| Shape::Mat(r, r)),
+                    UnaryFn::Ginv => sa.dims().map_or(Shape::Unknown, |(r, c)| Shape::Mat(c, r)),
+                    UnaryFn::Materialize => {
+                        sa.dims().map_or(Shape::Unknown, |(r, c)| Shape::Mat(r, c))
+                    }
+                    // Lowering turns these into fused steps; keep the
+                    // shape-preserving behavior for completeness.
+                    UnaryFn::Exp | UnaryFn::Log | UnaryFn::Sigmoid => sa,
+                }
+            }
+            NodeKind::Bin(op, l, r) => {
+                let (a, b) = (shapes[*l], shapes[*r]);
+                match op {
+                    BinOp::MatMul => {
+                        if a.is_scalar() {
+                            b
+                        } else if b.is_scalar() {
+                            a
+                        } else {
+                            match (a.rows(), b.cols()) {
+                                (Some(r), Some(c)) => Shape::Mat(r, c),
+                                _ => Shape::Unknown,
+                            }
+                        }
+                    }
+                    // `==` yields a regular indicator matrix (or scalar).
+                    BinOp::Eq => match a.dims().or(b.dims()) {
+                        Some((r, c)) => Shape::Mat(r, c),
+                        None => Shape::Scalar,
+                    },
+                    _ => {
+                        if a.is_scalar() && b.is_scalar() {
+                            Shape::Scalar
+                        } else if a.is_scalar() {
+                            b
+                        } else if b.is_scalar() {
+                            a
+                        } else {
+                            // Matrix ∘ matrix leaves the normalized
+                            // representation (§3.3.7 fallback → dense).
+                            match a.dims().or(b.dims()) {
+                                Some((r, c)) => Shape::Mat(r, c),
+                                None => Shape::Unknown,
+                            }
+                        }
+                    }
+                }
+            }
+            NodeKind::Zeros(r, c) | NodeKind::Ones(r, c) => match (shapes[*r], shapes[*c]) {
+                (Shape::Num(rv), Shape::Num(cv)) => Shape::Mat(rv as usize, cv as usize),
+                _ => Shape::Unknown,
+            },
+        };
+        shapes.push(shape);
+    }
+    shapes
+}
+
+/// Simulates one evaluation of the program over the DAG — with the same
+/// once-per-epoch reuse the CSE evaluator applies — and collects, per
+/// normalized free variable, the ordered operator uses the per-operator
+/// planner will be asked to route.
+struct UseSim<'p> {
+    plan: &'p ScriptPlan,
+    shapes: &'p [Shape],
+    stamps: Vec<u64>,
+    node_stamp: Vec<Option<u64>>,
+    clock: u64,
+    uses: HashMap<u32, Vec<OpKind>>,
+}
+
+impl UseSim<'_> {
+    fn bump(&mut self, var: u32) {
+        self.clock += 1;
+        self.stamps[var as usize] = self.clock;
+    }
+
+    fn push(&mut self, var: u32, op: OpKind, transposed: bool, mult: u64) {
+        let op = if transposed { op.dual() } else { op };
+        let list = self.uses.entry(var).or_default();
+        let n = mult.min(MAX_COUNTED_TRIPS * MAX_COUNTED_TRIPS) as usize;
+        for _ in 0..n {
+            if list.len() >= MAX_USES_PER_VAR {
+                return;
+            }
+            list.push(op);
+        }
+    }
+
+    fn walk_stmts(&mut self, stmts: &[PStmt], mult: u64) {
+        for stmt in stmts {
+            match stmt {
+                PStmt::Assign { var, node, .. } => {
+                    self.visit(*node, mult);
+                    self.bump(*var);
+                }
+                PStmt::Expr { node, .. } => self.visit(*node, mult),
+                PStmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                    ..
+                } => {
+                    self.visit(*from, mult);
+                    self.visit(*to, mult);
+                    let trips = match (self.shapes[*from], self.shapes[*to]) {
+                        (Shape::Num(lo), Shape::Num(hi)) => {
+                            ((hi.round() as i64) - (lo.round() as i64) + 1).max(0) as u64
+                        }
+                        _ => 1,
+                    };
+                    // First trip: everything not yet computed runs once.
+                    // Remaining trips: only nodes invalidated by the loop
+                    // (depending on the loop variable or variables
+                    // assigned in the body) are recounted — exactly the
+                    // loop-invariant hoisting the evaluator performs.
+                    if trips >= 1 {
+                        self.bump(*var);
+                        self.walk_stmts(body, mult);
+                    }
+                    if trips >= 2 {
+                        self.bump(*var);
+                        let rest = (trips - 1).min(MAX_COUNTED_TRIPS);
+                        self.walk_stmts(body, mult.saturating_mul(rest));
+                    }
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, id: usize, mult: u64) {
+        if let Some(stamp) = self.node_stamp[id] {
+            let fresh = self.plan.nodes[id]
+                .deps
+                .iter()
+                .all(|&d| self.stamps[d as usize] <= stamp);
+            if fresh {
+                return;
+            }
+        }
+        match &self.plan.nodes[id].kind {
+            NodeKind::Number(_) | NodeKind::Var(_) => {}
+            NodeKind::Zeros(r, c) | NodeKind::Ones(r, c) => {
+                let (r, c) = (*r, *c);
+                self.visit(r, mult);
+                self.visit(c, mult);
+            }
+            NodeKind::Fused(base, steps) => {
+                let (base, links) = (*base, steps.len() as u64);
+                self.visit(base, mult);
+                if let Shape::View {
+                    var, transposed, ..
+                } = self.shapes[base]
+                {
+                    self.push(
+                        var,
+                        OpKind::Elementwise,
+                        transposed,
+                        mult.saturating_mul(links),
+                    );
+                }
+            }
+            NodeKind::Call(f, a) => {
+                let (f, a) = (*f, *a);
+                self.visit(a, mult);
+                self.attribute_call(f, self.shapes[a], mult);
+            }
+            NodeKind::Bin(op, l, r) => {
+                let (op, l, r) = (*op, *l, *r);
+                self.visit(l, mult);
+                self.visit(r, mult);
+                self.attribute_bin(op, self.shapes[l], self.shapes[r], mult);
+            }
+        }
+        self.node_stamp[id] = Some(self.clock);
+    }
+
+    fn attribute_call(&mut self, f: UnaryFn, a: Shape, mult: u64) {
+        let Shape::View {
+            var, transposed, ..
+        } = a
+        else {
+            return;
+        };
+        let op = match f {
+            UnaryFn::RowSums => OpKind::RowSums,
+            UnaryFn::ColSums => OpKind::ColSums,
+            UnaryFn::RowMin => OpKind::RowMin,
+            UnaryFn::Sum => OpKind::Sum,
+            UnaryFn::Crossprod => OpKind::Crossprod,
+            UnaryFn::TCrossprod => OpKind::Tcrossprod,
+            UnaryFn::Ginv => OpKind::Ginv,
+            // Transpose is a free flag flip; materialize is not a routing
+            // decision; the element-wise calls were lowered to steps.
+            UnaryFn::Transpose
+            | UnaryFn::Materialize
+            | UnaryFn::Exp
+            | UnaryFn::Log
+            | UnaryFn::Sigmoid => return,
+        };
+        self.push(var, op, transposed, mult);
+    }
+
+    fn attribute_bin(&mut self, op: BinOp, a: Shape, b: Shape, mult: u64) {
+        match op {
+            BinOp::MatMul => match (a, b) {
+                (
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                    rhs,
+                ) if !rhs.is_scalar() => {
+                    let op = if matches!(rhs, Shape::View { .. }) {
+                        OpKind::Dmm {
+                            m: rhs.cols().unwrap_or(1),
+                        }
+                    } else {
+                        OpKind::Lmm {
+                            m: rhs.cols().unwrap_or(1),
+                        }
+                    };
+                    self.push(var, op, transposed, mult);
+                }
+                (
+                    lhs,
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                ) if !lhs.is_scalar() => {
+                    let op = OpKind::Rmm {
+                        m: lhs.rows().unwrap_or(1),
+                    };
+                    self.push(var, op, transposed, mult);
+                }
+                (
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                    _,
+                )
+                | (
+                    _,
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                ) => {
+                    // Scalar recycling: `%*%` with a scalar is `*`.
+                    self.push(var, OpKind::Elementwise, transposed, mult);
+                }
+                _ => {}
+            },
+            // `==` with a normalized operand materializes directly — a
+            // forced route, not a planner decision.
+            BinOp::Eq => {}
+            _ => match (a, b) {
+                (
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                    other,
+                )
+                | (
+                    other,
+                    Shape::View {
+                        var, transposed, ..
+                    },
+                ) => {
+                    let op = if other.is_scalar() {
+                        OpKind::Elementwise
+                    } else {
+                        OpKind::ElementwiseFallback
+                    };
+                    self.push(var, op, transposed, mult);
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Collects per-variable uses and asks each normalized free variable's
+/// planner for a whole-script verdict ([`PlannedMatrix::plan_script`];
+/// `None` — the non-cost-based strategies, spent or memoized matrices —
+/// contributes no entry).
+fn collect_premat(plan: &ScriptPlan, env: &Env) -> Vec<(String, ScriptDecision)> {
+    let mut assigned = HashSet::new();
+    let mut loops = HashSet::new();
+    assigned_vars(&plan.stmts, &mut assigned, &mut loops);
+    let shapes = infer_shapes(plan, env, &assigned, &loops);
+    let mut sim = UseSim {
+        plan,
+        shapes: &shapes,
+        stamps: vec![0; plan.vars.len()],
+        node_stamp: vec![None; plan.nodes.len()],
+        clock: 0,
+        uses: HashMap::new(),
+    };
+    sim.walk_stmts(&plan.stmts, 1);
+    let mut vars_with_uses: Vec<u32> = sim.uses.keys().copied().collect();
+    vars_with_uses.sort_unstable();
+    let mut out = Vec::new();
+    for v in vars_with_uses {
+        let ops = &sim.uses[&v];
+        if ops.is_empty() {
+            continue;
+        }
+        let name = &plan.vars[v as usize];
+        if let Some(Value::Normalized(p)) = env.get(name) {
+            if let Some(decision) = p.plan_script(ops) {
+                out.push((name.clone(), decision));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------
+
+/// Hit/miss counters of the process-wide plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans built from scratch (while the cache was enabled).
+    pub misses: u64,
+}
+
+struct PlanCache {
+    map: Mutex<HashMap<(u64, u64), Arc<ScriptPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.map.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn get_or_insert_with(
+        &self,
+        key: (u64, u64),
+        build: impl FnOnce() -> ScriptPlan,
+    ) -> Arc<ScriptPlan> {
+        if let Some(plan) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        // Built outside the lock: a racing build of the same key is
+        // wasted work, never wrong (both plans are identical).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build());
+        let mut map = self.map.lock().unwrap();
+        if map.len() >= PLAN_CACHE_CAPACITY {
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&plan));
+        plan
+    }
+}
+
+fn global_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
+}
+
+/// Whether the process-wide plan cache is enabled (`MORPHEUS_PLAN_CACHE`,
+/// read once; default on).
+fn cache_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var(PLAN_CACHE_ENV) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+        Err(_) => true,
+    })
+}
+
+/// Hit/miss counters of the process-wide plan cache (both zero while the
+/// cache is disabled via [`PLAN_CACHE_ENV`]).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    global_cache().stats()
+}
+
+/// Clears the process-wide plan cache and its counters.
+pub fn plan_cache_reset() {
+    global_cache().reset();
+}
+
+fn strategy_code(s: Strategy) -> u8 {
+    match s {
+        Strategy::CostBased => 0,
+        Strategy::Heuristic(_) => 1,
+        Strategy::AlwaysFactorize => 2,
+        Strategy::AlwaysMaterialize => 3,
+    }
+}
+
+fn hash_stmts<H: Hasher>(h: &mut H, stmts: &[PStmt]) {
+    // Source lines are deliberately excluded: formatting-only edits reuse
+    // the cached plan.
+    for s in stmts {
+        match s {
+            PStmt::Assign { var, node, .. } => {
+                0u8.hash(h);
+                var.hash(h);
+                node.hash(h);
+            }
+            PStmt::Expr { node, .. } => {
+                1u8.hash(h);
+                node.hash(h);
+            }
+            PStmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                2u8.hash(h);
+                var.hash(h);
+                from.hash(h);
+                to.hash(h);
+                hash_stmts(h, body);
+            }
+        }
+    }
+}
+
+fn hash_signature<H: Hasher>(h: &mut H, plan: &ScriptPlan, env: &Env) {
+    for name in &plan.vars {
+        match env.get(name) {
+            None => 0u8.hash(h),
+            Some(Value::Scalar(x)) => {
+                1u8.hash(h);
+                x.to_bits().hash(h);
+            }
+            Some(Value::Dense(m)) => {
+                2u8.hash(h);
+                m.shape().hash(h);
+            }
+            Some(Value::Normalized(p)) => {
+                3u8.hash(h);
+                p.shape().hash(h);
+                strategy_code(p.strategy()).hash(h);
+                p.is_memoized().hash(h);
+                match p.normalized() {
+                    None => 0u8.hash(h),
+                    Some(t) => {
+                        1u8.hash(h);
+                        t.is_transposed().hash(h);
+                        for part in t.parts() {
+                            let table = part.table();
+                            table.shape().hash(h);
+                            table.is_sparse().hash(h);
+                            if table.is_sparse() {
+                                table.nnz().hash(h);
+                            }
+                            part.indicator().is_identity().hash(h);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The cache key: two independent 64-bit hashes (so a single-hash
+/// collision cannot alias two plans) over the canonicalized structure,
+/// the free-variable signatures, and the profile format version.
+fn plan_key(plan: &ScriptPlan, env: &Env, profile_version: u32) -> (u64, u64) {
+    let mut out = [0u64; 2];
+    for (slot, salt) in out
+        .iter_mut()
+        .zip([0x9e37_79b9_7f4a_7c15u64, 0x6a09_e667_f3bc_c909u64])
+    {
+        let mut h = DefaultHasher::new();
+        h.write_u64(salt);
+        for node in &plan.nodes {
+            node.kind.hash(&mut h);
+        }
+        hash_stmts(&mut h, &plan.stmts);
+        for name in &plan.vars {
+            name.hash(&mut h);
+        }
+        hash_signature(&mut h, plan, env);
+        h.write_u32(profile_version);
+        *slot = h.finish();
+    }
+    (out[0], out[1])
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+fn finish(mut skeleton: ScriptPlan, env: &Env) -> ScriptPlan {
+    skeleton.premat = collect_premat(&skeleton, env);
+    skeleton
+}
+
+/// Plans a program against an environment: optimizes (to fixpoint),
+/// hash-conses into a CSE DAG with fused element-wise chains, and reaches
+/// whole-script materialize verdicts for normalized free variables.
+///
+/// Plans are memoized process-wide under a key of (canonicalized program
+/// structure, free-variable signatures, profile format version) unless
+/// [`PLAN_CACHE_ENV`] disables the cache.
+pub fn plan_program(program: &Program, env: &Env) -> Arc<ScriptPlan> {
+    let skeleton = lower(&optimize(program));
+    if !cache_enabled() {
+        return Arc::new(finish(skeleton, env));
+    }
+    let key = plan_key(&skeleton, env, PROFILE_FORMAT_VERSION);
+    global_cache().get_or_insert_with(key, || finish(skeleton, env))
+}
+
+/// Evaluates a planned program: applies the up-front materialize
+/// verdicts, then runs the statement list with each distinct DAG node
+/// computed once per validity epoch (a node is recomputed only after a
+/// variable it reads is rebound).
+pub fn eval_plan(plan: &ScriptPlan, env: &mut Env) -> Result<Value, LangError> {
+    for (name, decision) in &plan.premat {
+        if decision.materialize_upfront {
+            if let Some(Value::Normalized(p)) = env.get(name) {
+                p.prematerialize();
+            }
+        }
+    }
+    let mut ctx = EvalCtx {
+        memo: vec![None; plan.nodes.len()],
+        var_stamp: vec![0; plan.vars.len()],
+        clock: 0,
+    };
+    let mut last = Value::Scalar(0.0);
+    for stmt in &plan.stmts {
+        last = eval_stmt(plan, &mut ctx, stmt, env)?;
+    }
+    Ok(last)
+}
+
+/// Plans (with caching) and evaluates in one call — the drop-in
+/// script-level replacement for [`crate::eval_program`].
+pub fn run_program(program: &Program, env: &mut Env) -> Result<Value, LangError> {
+    let plan = plan_program(program, env);
+    eval_plan(&plan, env)
+}
+
+// ---------------------------------------------------------------------
+// Plan evaluation (CSE with per-variable generation stamps)
+// ---------------------------------------------------------------------
+
+struct EvalCtx {
+    /// Per-node `(stamp, value)`: valid while no dependency variable has
+    /// been rebound after `stamp`.
+    memo: Vec<Option<(u64, Value)>>,
+    var_stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl EvalCtx {
+    fn bump(&mut self, var: u32) {
+        self.clock += 1;
+        self.var_stamp[var as usize] = self.clock;
+    }
+}
+
+fn eval_stmt(
+    plan: &ScriptPlan,
+    ctx: &mut EvalCtx,
+    stmt: &PStmt,
+    env: &mut Env,
+) -> Result<Value, LangError> {
+    eval_stmt_inner(plan, ctx, stmt, env).map_err(|e| e.at(stmt.line()))
+}
+
+fn eval_stmt_inner(
+    plan: &ScriptPlan,
+    ctx: &mut EvalCtx,
+    stmt: &PStmt,
+    env: &mut Env,
+) -> Result<Value, LangError> {
+    match stmt {
+        PStmt::Assign { var, node, .. } => {
+            let v = eval_node(plan, ctx, env, *node)?;
+            env.bind(&plan.vars[*var as usize], v.clone());
+            ctx.bump(*var);
+            Ok(v)
+        }
+        PStmt::Expr { node, .. } => eval_node(plan, ctx, env, *node),
+        PStmt::For {
+            var,
+            from,
+            to,
+            body,
+            ..
+        } => {
+            let lo = expect_scalar(&eval_node(plan, ctx, env, *from)?, "for-range start")?;
+            let hi = expect_scalar(&eval_node(plan, ctx, env, *to)?, "for-range end")?;
+            let (lo, hi) = (lo.round() as i64, hi.round() as i64);
+            let name = &plan.vars[*var as usize];
+            let mut last = Value::Scalar(0.0);
+            for i in lo..=hi {
+                env.bind(name, Value::Scalar(i as f64));
+                ctx.bump(*var);
+                for s in body {
+                    last = eval_stmt(plan, ctx, s, env)?;
+                }
+            }
+            Ok(last)
+        }
+    }
+}
+
+fn eval_node(
+    plan: &ScriptPlan,
+    ctx: &mut EvalCtx,
+    env: &Env,
+    id: usize,
+) -> Result<Value, LangError> {
+    // Leaves bypass the memo: literals are trivial and variable reads
+    // must observe the current binding.
+    match &plan.nodes[id].kind {
+        NodeKind::Number(bits) => return Ok(Value::Scalar(f64::from_bits(*bits))),
+        NodeKind::Var(v) => {
+            let name = &plan.vars[*v as usize];
+            return env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| LangError::Undefined(name.clone()));
+        }
+        _ => {}
+    }
+    if let Some((stamp, value)) = &ctx.memo[id] {
+        let fresh = plan.nodes[id]
+            .deps
+            .iter()
+            .all(|&d| ctx.var_stamp[d as usize] <= *stamp);
+        if fresh {
+            return Ok(value.clone());
+        }
+    }
+    let value = match &plan.nodes[id].kind {
+        NodeKind::Number(_) | NodeKind::Var(_) => unreachable!("handled above"),
+        NodeKind::Bin(op, l, r) => {
+            let lv = eval_node(plan, ctx, env, *l)?;
+            let rv = eval_node(plan, ctx, env, *r)?;
+            eval_bin(*op, lv, rv)?
+        }
+        NodeKind::Call(f, a) => eval_call(*f, eval_node(plan, ctx, env, *a)?)?,
+        NodeKind::Zeros(r, c) => {
+            let rows = expect_scalar(&eval_node(plan, ctx, env, *r)?, "zeros rows")? as usize;
+            let cols = expect_scalar(&eval_node(plan, ctx, env, *c)?, "zeros cols")? as usize;
+            Value::Dense(DenseMatrix::zeros(rows, cols))
+        }
+        NodeKind::Ones(r, c) => {
+            let rows = expect_scalar(&eval_node(plan, ctx, env, *r)?, "ones rows")? as usize;
+            let cols = expect_scalar(&eval_node(plan, ctx, env, *c)?, "ones cols")? as usize;
+            Value::Dense(DenseMatrix::ones(rows, cols))
+        }
+        NodeKind::Fused(base, steps) => {
+            let base = eval_node(plan, ctx, env, *base)?;
+            apply_fused(steps, base)
+        }
+    };
+    ctx.memo[id] = Some((ctx.clock, value.clone()));
+    Ok(value)
+}
+
+fn apply_fused(steps: &[ScalarStep], base: Value) -> Value {
+    match base {
+        Value::Scalar(x) => Value::Scalar(steps.iter().fold(x, |acc, s| s.apply_scalar(acc))),
+        // Dense: the whole chain in one pass — one allocation instead of
+        // one per link, bit-identical per element to the chained kernels.
+        Value::Dense(m) => {
+            Value::Dense(m.map(|x| steps.iter().fold(x, |acc, s| s.apply_elem(acc))))
+        }
+        // Normalized: replay link by link through the per-operator
+        // planner, so routing decisions match the interpreter exactly.
+        Value::Normalized(t) => {
+            let out = steps.iter().fold(t, |current, s| s.apply_planned(&current));
+            Value::Normalized(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_program;
+    use crate::parser::parse;
+    use morpheus_core::{Decision, LinearOperand, MachineProfile, NormalizedMatrix};
+    use morpheus_sparse::CsrMatrix;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Plans without touching the process-wide cache, so tests behave
+    /// identically whether `MORPHEUS_PLAN_CACHE` is on or off.
+    fn plan_direct(program: &Program, env: &Env) -> ScriptPlan {
+        finish(lower(&optimize(program)), env)
+    }
+
+    fn run_planned(src: &str, env: &mut Env) -> Result<Value, LangError> {
+        let program = parse(src).unwrap();
+        let plan = plan_direct(&program, env);
+        eval_plan(&plan, env)
+    }
+
+    fn run_interp(src: &str, env: &mut Env) -> Result<Value, LangError> {
+        eval_program(&parse(src).unwrap(), env)
+    }
+
+    /// A deterministic PK-FK normalized matrix (`n_s x (d_s + d_r)`).
+    fn pkfk(n_s: usize, d_s: usize, n_r: usize, d_r: usize) -> NormalizedMatrix {
+        let mut seed = 0x2545f491u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let s = DenseMatrix::from_fn(n_s, d_s, |_, _| next());
+        let r = DenseMatrix::from_fn(n_r, d_r, |_, _| next());
+        let fk: Vec<usize> = (0..n_s).map(|i| (i * 7 + 3) % n_r).collect();
+        NormalizedMatrix::pk_fk(s.into(), &fk, r.into())
+    }
+
+    /// Counts planner decisions for one operator kind via the hook.
+    fn counting(
+        t: NormalizedMatrix,
+        strategy: Strategy,
+        count_op: fn(&OpKind) -> bool,
+    ) -> (PlannedMatrix, Arc<AtomicUsize>) {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let p = PlannedMatrix::with_strategy(t, strategy)
+            .with_profile(MachineProfile::REFERENCE)
+            .with_hook(move |d: &Decision| {
+                if count_op(&d.op) {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        (p, n)
+    }
+
+    fn bits(v: &Value) -> Vec<u64> {
+        match v {
+            Value::Scalar(x) => vec![x.to_bits()],
+            Value::Dense(m) => m.as_slice().iter().map(|x| x.to_bits()).collect(),
+            Value::Normalized(p) => p
+                .materialize()
+                .to_dense()
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fusion_collapses_scalar_chains() {
+        let program = parse("sum((T ^ 2) / 3 - 0.5)").unwrap();
+        let plan = lower(&optimize(&program));
+        let chains: Vec<usize> = plan
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Fused(_, steps) => Some(steps.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chains, vec![3], "expected one fused chain of 3 links");
+        assert_eq!(plan.fused_chain_count(), 1);
+    }
+
+    #[test]
+    fn single_ops_also_fuse_and_stay_exact() {
+        // `-x` lowers to a one-link chain: MulC(-1), the interpreter's
+        // own desugaring.
+        let program = parse("-(X + 0)").unwrap();
+        let plan = lower(&optimize(&program));
+        assert!(plan
+            .nodes
+            .iter()
+            .any(|n| matches!(&n.kind, NodeKind::Fused(_, s) if s.len() == 1)));
+    }
+
+    #[test]
+    fn planned_eval_matches_interpreter_bitwise_on_dense() {
+        let src =
+            "a = exp(X / 7 - 0.25)\nb = 2 ^ a\nc = -b + sigma\nsum(log(c * c + 1.5)) - sum(a)";
+        let x = DenseMatrix::from_fn(8, 5, |i, j| (i as f64 - 2.0) * 0.3 + j as f64 * 0.7);
+        let mk = || {
+            let mut env = Env::new();
+            env.bind("X", Value::Dense(x.clone()));
+            env.bind("sigma", Value::Scalar(1.75));
+            env
+        };
+        let vi = run_interp(src, &mut mk()).unwrap();
+        let vp = run_planned(src, &mut mk()).unwrap();
+        assert_eq!(bits(&vi), bits(&vp));
+    }
+
+    #[test]
+    fn fused_chain_replays_bitwise_on_normalized() {
+        let src = "sum(exp(2 * T + 1) / 3)";
+        let t = pkfk(24, 3, 6, 4);
+        let mk = |t: NormalizedMatrix| {
+            let mut env = Env::new();
+            env.bind(
+                "T",
+                Value::Normalized(
+                    PlannedMatrix::with_strategy(t, Strategy::AlwaysFactorize)
+                        .with_profile(MachineProfile::REFERENCE),
+                ),
+            );
+            env
+        };
+        let vi = run_interp(src, &mut mk(t.clone())).unwrap();
+        let vp = run_planned(src, &mut mk(t)).unwrap();
+        assert_eq!(bits(&vi), bits(&vp));
+    }
+
+    #[test]
+    fn for_loop_parity_bitwise() {
+        let src = "w = zeros(4, 1)\nfor (i in 1:3) {\n  p = Y / (1 + exp(Y * (X %*% w)))\n  w = w + 0.01 * (t(X) %*% p)\n}\nw";
+        let x = DenseMatrix::from_fn(6, 4, |i, j| ((i * 5 + j * 3) % 7) as f64 * 0.2 - 0.5);
+        let y = DenseMatrix::from_fn(6, 1, |i, _| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let mk = || {
+            let mut env = Env::new();
+            env.bind("X", Value::Dense(x.clone()));
+            env.bind("Y", Value::Dense(y.clone()));
+            env
+        };
+        let vi = run_interp(src, &mut mk()).unwrap();
+        let vp = run_planned(src, &mut mk()).unwrap();
+        assert_eq!(bits(&vi), bits(&vp));
+    }
+
+    #[test]
+    fn cse_evaluates_shared_subexpressions_once() {
+        let src = "a = sum(crossprod(T))\nb = sum(crossprod(T))\na + b";
+        let t = pkfk(32, 2, 8, 3);
+        let is_cp = |op: &OpKind| matches!(op, OpKind::Crossprod);
+
+        let (p, n_interp) = counting(t.clone(), Strategy::AlwaysFactorize, is_cp);
+        let mut env = Env::new();
+        env.bind("T", Value::Normalized(p));
+        let vi = run_interp(src, &mut env).unwrap();
+
+        let (p, n_planned) = counting(t, Strategy::AlwaysFactorize, is_cp);
+        let mut env = Env::new();
+        env.bind("T", Value::Normalized(p));
+        let vp = run_planned(src, &mut env).unwrap();
+
+        assert_eq!(n_interp.load(Ordering::Relaxed), 2);
+        assert_eq!(n_planned.load(Ordering::Relaxed), 1);
+        assert_eq!(bits(&vi), bits(&vp));
+    }
+
+    #[test]
+    fn loop_invariant_expressions_hoist() {
+        let src = "s = 0\nfor (i in 1:5) { s = s + sum(crossprod(T)) }\ns";
+        let t = pkfk(32, 2, 8, 3);
+        let is_cp = |op: &OpKind| matches!(op, OpKind::Crossprod);
+
+        let (p, n_interp) = counting(t.clone(), Strategy::AlwaysFactorize, is_cp);
+        let mut env = Env::new();
+        env.bind("T", Value::Normalized(p));
+        let vi = run_interp(src, &mut env).unwrap();
+
+        let (p, n_planned) = counting(t, Strategy::AlwaysFactorize, is_cp);
+        let mut env = Env::new();
+        env.bind("T", Value::Normalized(p));
+        let vp = run_planned(src, &mut env).unwrap();
+
+        assert_eq!(n_interp.load(Ordering::Relaxed), 5);
+        assert_eq!(n_planned.load(Ordering::Relaxed), 1);
+        assert_eq!(bits(&vi), bits(&vp));
+    }
+
+    #[test]
+    fn premat_verdict_collected_and_results_preserved() {
+        // Loop body varies with `i`, so every trip re-runs the chain: 12
+        // element-wise passes and 12 rowMins against a wide, heavily
+        // reused T. The whole-script planner must reach *a* verdict
+        // (either way — it is shape- and profile-dependent); evaluation
+        // must agree with the interpreter regardless.
+        let src = "s = 0\nfor (i in 1:12) { s = s + sum(rowMin(T * i)) }\ns";
+        let t = pkfk(64, 2, 64, 32);
+        let mk = |t: NormalizedMatrix| {
+            let mut env = Env::new();
+            env.bind(
+                "T",
+                Value::Normalized(
+                    PlannedMatrix::with_strategy(t, Strategy::CostBased)
+                        .with_profile(MachineProfile::REFERENCE),
+                ),
+            );
+            env
+        };
+
+        let program = parse(src).unwrap();
+        let env = mk(t.clone());
+        let plan = plan_direct(&program, &env);
+        assert_eq!(
+            plan.premat_decisions().len(),
+            1,
+            "expected a whole-script verdict for T"
+        );
+        assert_eq!(plan.premat_decisions()[0].0, "T");
+        let d = &plan.premat_decisions()[0].1;
+        assert!(d.greedy_ns.is_finite() && d.lookahead_ns.is_finite());
+
+        let mut env = mk(t.clone());
+        let vp = eval_plan(&plan, &mut env).unwrap();
+        let vi = run_interp(src, &mut mk(t)).unwrap();
+        let (a, b) = (vi.as_scalar().unwrap(), vp.as_scalar().unwrap());
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+            "planned {b} vs interpreter {a}"
+        );
+    }
+
+    #[test]
+    fn planned_eval_preserves_error_lines() {
+        let mut env = Env::new();
+        let err = run_planned("x = 1\nz = nope + 1\nz", &mut env).unwrap_err();
+        match err {
+            LangError::At { line, inner } => {
+                assert_eq!(line, 2);
+                assert_eq!(*inner, LangError::Undefined("nope".into()));
+            }
+            other => panic!("expected line-annotated error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_and_keying() {
+        let cache = PlanCache::new();
+        let src = "sum(t(T) %*% (T %*% w))";
+        let program = parse(src).unwrap();
+        let skeleton = lower(&optimize(&program));
+
+        let env_for = |t: NormalizedMatrix, w_cols: usize| {
+            let mut env = Env::new();
+            env.bind(
+                "T",
+                Value::Normalized(
+                    PlannedMatrix::with_strategy(t, Strategy::CostBased)
+                        .with_profile(MachineProfile::REFERENCE),
+                ),
+            );
+            env.bind("w", Value::Dense(DenseMatrix::ones(5, w_cols)));
+            env
+        };
+
+        let env1 = env_for(pkfk(16, 2, 4, 3), 1);
+        let k1 = plan_key(&skeleton, &env1, PROFILE_FORMAT_VERSION);
+        cache.get_or_insert_with(k1, || finish(skeleton.clone(), &env1));
+        cache.get_or_insert_with(k1, || panic!("must hit"));
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+
+        // Same script, different base-table shape: different key.
+        let env2 = env_for(pkfk(16, 2, 4, 4), 1);
+        let k2 = plan_key(&skeleton, &env2, PROFILE_FORMAT_VERSION);
+        assert_ne!(k1, k2);
+
+        // Different dense-operand shape: different key.
+        let env3 = env_for(pkfk(16, 2, 4, 3), 2);
+        let k3 = plan_key(&skeleton, &env3, PROFILE_FORMAT_VERSION);
+        assert_ne!(k1, k3);
+
+        // Profile format version bump: different key.
+        let k4 = plan_key(&skeleton, &env1, PROFILE_FORMAT_VERSION + 1);
+        assert_ne!(k1, k4);
+
+        // A different program structure: different key.
+        let skeleton2 = lower(&optimize(&parse("sum(t(T) %*% (T %*% w)) + 1").unwrap()));
+        let k5 = plan_key(&skeleton2, &env1, PROFILE_FORMAT_VERSION);
+        assert_ne!(k1, k5);
+    }
+
+    #[test]
+    fn plan_key_sees_sparse_nnz() {
+        let src = "sum(rowSums(T))";
+        let skeleton = lower(&optimize(&parse(src).unwrap()));
+        let sparse_s = |nnz_rows: usize| {
+            let d = DenseMatrix::from_fn(8, 4, |i, j| {
+                if i < nnz_rows {
+                    (i + j + 1) as f64
+                } else {
+                    0.0
+                }
+            });
+            let s = CsrMatrix::from_dense(&d);
+            let r = DenseMatrix::ones(2, 3);
+            let fk: Vec<usize> = (0..8).map(|i| i % 2).collect();
+            NormalizedMatrix::pk_fk(s.into(), &fk, r.into())
+        };
+        let env_for = |t: NormalizedMatrix| {
+            let mut env = Env::new();
+            env.bind(
+                "T",
+                Value::Normalized(
+                    PlannedMatrix::with_strategy(t, Strategy::CostBased)
+                        .with_profile(MachineProfile::REFERENCE),
+                ),
+            );
+            env
+        };
+        // Same shapes everywhere; only the S table's nnz differs.
+        let k_a = plan_key(&skeleton, &env_for(sparse_s(2)), PROFILE_FORMAT_VERSION);
+        let k_b = plan_key(&skeleton, &env_for(sparse_s(6)), PROFILE_FORMAT_VERSION);
+        assert_ne!(k_a, k_b);
+    }
+
+    #[test]
+    fn plan_cache_capacity_clears_wholesale() {
+        let cache = PlanCache::new();
+        let plan_of = |src: &str| lower(&optimize(&parse(src).unwrap()));
+        for i in 0..PLAN_CACHE_CAPACITY + 1 {
+            cache.get_or_insert_with((i as u64, 0), || plan_of("1 + 1"));
+        }
+        // The insert that crossed capacity cleared the map first.
+        assert!(cache.map.lock().unwrap().len() <= PLAN_CACHE_CAPACITY);
+        assert_eq!(cache.stats().misses, (PLAN_CACHE_CAPACITY + 1) as u64);
+    }
+
+    #[test]
+    fn global_cache_round_trip_when_enabled() {
+        if !cache_enabled() {
+            return; // CI runs a MORPHEUS_PLAN_CACHE=off mode.
+        }
+        plan_cache_reset();
+        let program = parse("x = 41\nx + 1").unwrap();
+        // Fresh env per run: evaluation binds `x`, and a changed binding
+        // is a changed cache key by design.
+        let v1 = run_program(&program, &mut Env::new()).unwrap();
+        let s1 = plan_cache_stats();
+        let v2 = run_program(&program, &mut Env::new()).unwrap();
+        let s2 = plan_cache_stats();
+        assert_eq!(v1.as_scalar(), Some(42.0));
+        assert_eq!(v2.as_scalar(), Some(42.0));
+        assert_eq!(s2.misses, s1.misses);
+        assert_eq!(s2.hits, s1.hits + 1);
+    }
+}

@@ -34,6 +34,39 @@ pub enum LangError {
         /// Arguments received.
         found: usize,
     },
+    /// A runtime error annotated with the source line of the statement
+    /// that raised it (the parser's spans, preserved by the optimizer and
+    /// the script planner).
+    At {
+        /// 1-based line of the failing statement.
+        line: usize,
+        /// The underlying error.
+        inner: Box<LangError>,
+    },
+}
+
+impl LangError {
+    /// Annotates a runtime error with its statement's source line. Errors
+    /// that already carry a line (lex, parse, or an earlier annotation)
+    /// are returned unchanged, so nested statements keep the innermost —
+    /// most precise — span.
+    pub fn at(self, line: usize) -> LangError {
+        match self {
+            e @ (LangError::Lex { .. } | LangError::Parse { .. } | LangError::At { .. }) => e,
+            e => LangError::At {
+                line,
+                inner: Box::new(e),
+            },
+        }
+    }
+
+    /// The underlying error, with any line annotation stripped.
+    pub fn root(&self) -> &LangError {
+        match self {
+            LangError::At { inner, .. } => inner.root(),
+            e => e,
+        }
+    }
 }
 
 impl fmt::Display for LangError {
@@ -49,6 +82,7 @@ impl fmt::Display for LangError {
                 expected,
                 found,
             } => write!(f, "{func}() takes {expected} argument(s), got {found}"),
+            LangError::At { line, inner } => write!(f, "line {line}: {inner}"),
         }
     }
 }

@@ -70,5 +70,26 @@ fn main() {
     assert!(ttn.lmm(&y).approx_eq(&t.t_matmul_dense(&y), 1e-12));
     println!("transposed LMM    : factorized == materialized ✓");
 
+    // --- The scripting layer with the script planner ---------------------
+    // The same computation as an R-flavored script, run through the
+    // holistic planner (CSE + fusion + plan cache; `MORPHEUS_PLAN_CACHE=off`
+    // plans from scratch every call). The repeated `crossprod(T)` is
+    // evaluated once, and results match the interpreter exactly.
+    let script = "a = sum(crossprod(T))\nb = sum(crossprod(T))\nsum(exp(T / 10) * 2) + a + b";
+    let program = parse(script).expect("script parses");
+    let mk_env = || {
+        let mut env = Env::new();
+        env.bind("T", Value::normalized(tn.clone()));
+        env
+    };
+    let planned = run_program(&program, &mut mk_env()).expect("planned run");
+    let interpreted = eval_program(&program, &mut mk_env()).expect("interpreted run");
+    assert_eq!(planned.as_scalar(), interpreted.as_scalar());
+    let stats = morpheus::lang::plan_cache_stats();
+    println!(
+        "scripted run      : planned == interpreted ✓ (plan cache: {} hit(s), {} miss(es))",
+        stats.hits, stats.misses
+    );
+
     println!("\nAll factorized operators agree with the materialized join.");
 }

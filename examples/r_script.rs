@@ -35,18 +35,20 @@ fn main() {
     let w_true = DenseMatrix::from_fn(d, 1, |i, _| ((i % 11) as f64 - 5.0) * 0.1);
     let y = tn.lmm(&w_true).map(|m| if m > 0.0 { 1.0 } else { -1.0 });
 
-    let program = morpheus::lang::optimize(&parse(SCRIPT).expect("script parses"));
+    let program = parse(SCRIPT).expect("script parses");
     println!("script:\n{SCRIPT}");
 
     // Run 1: T bound to the NORMALIZED matrix — every %*% and t() routes
-    // through the factorized rewrites.
+    // through the factorized rewrites. `run_program` plans the script
+    // first (CSE, element-wise fusion, whole-script materialize verdicts,
+    // keyed plan cache) and then evaluates the plan.
     let mut env_f = Env::new();
     env_f.bind("T", Value::normalized(tn.clone()));
     env_f.bind("Y", Value::Dense(y.clone()));
     env_f.bind("alpha", Value::Scalar(1e-4));
     env_f.bind("d", Value::Scalar(d as f64));
     let t0 = Instant::now();
-    let w_f = eval_program(&program, &mut env_f).expect("factorized run");
+    let w_f = run_program(&program, &mut env_f).expect("factorized run");
     let time_f = t0.elapsed().as_secs_f64();
 
     // Run 2: the same program object, T bound to the materialized join.
@@ -57,7 +59,7 @@ fn main() {
     env_m.bind("Y", Value::Dense(y.clone()));
     env_m.bind("alpha", Value::Scalar(1e-4));
     env_m.bind("d", Value::Scalar(d as f64));
-    let w_m = eval_program(&program, &mut env_m).expect("materialized run");
+    let w_m = run_program(&program, &mut env_m).expect("materialized run");
     let time_m = t1.elapsed().as_secs_f64();
 
     let wf = w_f.as_dense().expect("weights");

@@ -82,7 +82,9 @@ pub mod prelude {
     };
     pub use morpheus_data::synth::{MnJoinSpec, PkFkSpec, StarSpec};
     pub use morpheus_dense::DenseMatrix;
-    pub use morpheus_lang::{eval_program, parse, Env, Value};
+    pub use morpheus_lang::{
+        eval_program, parse, plan_program, run_program, Env, ScriptPlan, Value,
+    };
     pub use morpheus_ml::{
         gnmf::Gnmf, kmeans::KMeans, linreg::LinearRegressionGd, linreg::LinearRegressionNe,
         logreg::LogisticRegressionGd,
