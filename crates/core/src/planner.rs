@@ -367,8 +367,17 @@ impl PlannedMatrix {
     }
 
     /// The memoized materialized `T`, computing it on first use.
+    ///
+    /// Failure model: if the materialization panics (injectable via the
+    /// `planner.memo` failpoint), `OnceLock::get_or_init` leaves the cell
+    /// *empty* — never poisoned — so the panic propagates to this caller
+    /// while the next call simply recomputes. A crash mid-join can never
+    /// wedge the shared memo for the clones that hold it.
     fn memo_ref(&self, t: &NormalizedMatrix) -> &Matrix {
-        self.memo.get_or_init(|| t.materialize())
+        self.memo.get_or_init(|| {
+            morpheus_runtime::faults::maybe_panic("planner.memo");
+            t.materialize()
+        })
     }
 
     /// Routes a read-only operator.
@@ -834,6 +843,24 @@ mod tests {
         // both results bit-identical to their pure paths.
         assert_eq!(cp, tn.crossprod());
         assert!(ew.approx_eq(&tn.materialize().add(&x), 0.0));
+    }
+
+    #[test]
+    fn memo_panic_leaves_a_recoverable_planner() {
+        let _guard = morpheus_runtime::faults::exclusive();
+        let tn = pkfk(30, 3, 6, 3);
+        let expected = tn.materialize();
+        let (planned, _log) = logged(tn, Strategy::AlwaysMaterialize);
+        morpheus_runtime::faults::configure("planner.memo=panic(times=1)").unwrap();
+        let attempt =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| planned.materialize()));
+        morpheus_runtime::faults::clear();
+        assert!(attempt.is_err(), "injected memo panic must propagate");
+        // The OnceLock memo is left empty — never poisoned — so the same
+        // planner (and every clone sharing the memo) simply recomputes.
+        let recovered = planned.materialize();
+        assert!(recovered.approx_eq(&expected, 0.0));
+        assert!(planned.is_memoized());
     }
 
     #[test]

@@ -37,12 +37,37 @@
 
 use crate::{CoreError, CoreResult};
 use morpheus_dense::DenseMatrix;
-use morpheus_runtime::timing;
+use morpheus_runtime::{faults, timing};
 use morpheus_sparse::CsrMatrix;
 use std::sync::OnceLock;
 
 /// Environment variable naming the profile persistence file.
 pub const PROFILE_PATH_ENV: &str = "MORPHEUS_PROFILE_PATH";
+
+/// Environment variable bounding calibration wall time, in milliseconds.
+/// When first-use calibration misses this deadline (default
+/// [`DEFAULT_CALIBRATION_TIMEOUT_MS`]; `0` disables the watchdog), the
+/// planner proceeds on the built-in [`MachineProfile::FALLBACK`] rates
+/// instead of blocking first use on a hostile machine — and the fallback
+/// is *not* persisted, so a later healthy process calibrates for real.
+pub const CALIBRATION_TIMEOUT_ENV: &str = "MORPHEUS_CALIBRATION_TIMEOUT_MS";
+
+/// Default calibration watchdog deadline: generous (a healthy calibration
+/// takes ~100 ms) so it only ever fires on a genuinely hostile machine.
+pub const DEFAULT_CALIBRATION_TIMEOUT_MS: u64 = 10_000;
+
+/// A calibration outcome: the rates plus whether they were actually
+/// measured on this machine. Only measured rates are worth persisting —
+/// writing the fallback rates to `MORPHEUS_PROFILE_PATH` would make a
+/// transient stall permanent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationResult {
+    /// The rates to plan with.
+    pub profile: MachineProfile,
+    /// `true` when the rates came from microbenchmarks on this machine;
+    /// `false` when the watchdog substituted the built-in fallback.
+    pub measured: bool,
+}
 
 /// Version of the persisted key set. Bumped whenever the rate set changes
 /// shape *or the kernels behind the rates change speed class*; files
@@ -181,6 +206,15 @@ impl MachineProfile {
         op_overhead_ns: 1_000.0,
     };
 
+    /// The rates used when calibration cannot run to completion (watchdog
+    /// deadline missed, calibration panicked) — the bottom rung of the
+    /// profile's degradation ladder. Currently the same nominal mid-2020s
+    /// x86 numbers as [`REFERENCE`](Self::REFERENCE), but a distinct
+    /// constant: `REFERENCE` is frozen for test determinism while this
+    /// one tracks "sane rates to plan with, blind"; they may diverge.
+    /// Never persisted (see [`CalibrationResult::measured`]).
+    pub const FALLBACK: MachineProfile = MachineProfile::REFERENCE;
+
     /// The blocked-dense rate at a given working-set size: piecewise
     /// log-linear interpolation through the calibrated tiers, clamped at
     /// both ends. Monotone whenever the tier rates are (calibration
@@ -214,6 +248,10 @@ impl MachineProfile {
     /// the interpolated rate — and with it every cost estimate — monotone
     /// in size.
     pub fn calibrate() -> MachineProfile {
+        // `profile.calibrate` failpoint: a `sleep` kind simulates a
+        // hostile machine (trips the watchdog), a `panic` kind a crashing
+        // calibration — both recovered by `calibrate_watchdogged`.
+        faults::maybe_panic("profile.calibrate");
         timing::warm_pool();
 
         // Dense tier curve: one blocked GEMM per tier (the profile's unit
@@ -348,15 +386,97 @@ impl MachineProfile {
         }
     }
 
-    /// Load-else-calibrate-and-persist, with the calibrator injected —
-    /// the testable seam behind [`MachineProfile::global`]. When `path`
-    /// names a readable file in the current format, its rates are
-    /// returned and `calibrate` never runs; otherwise `calibrate` runs
-    /// and its result is written to `path` (best-effort) when one is
-    /// given.
-    pub fn load_else_calibrate_with(
+    /// Runs [`MachineProfile::calibrate`] under the watchdog deadline from
+    /// [`CALIBRATION_TIMEOUT_ENV`]. Calibration runs on a named spare
+    /// thread; if it misses the deadline **or dies**, the built-in
+    /// [`MachineProfile::FALLBACK`] rates are substituted (counted in
+    /// [`faults::stats`]) so a hostile machine can never block first use.
+    /// A deadline of `0` disables the watchdog but still contains a
+    /// calibration panic.
+    pub fn calibrate_watchdogged() -> CalibrationResult {
+        let timeout_ms = std::env::var(CALIBRATION_TIMEOUT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_CALIBRATION_TIMEOUT_MS);
+        let fall_back = |why: &str| {
+            faults::note(faults::Degradation::CalibrationTimeout);
+            eprintln!("morpheus: calibration {why}; using built-in fallback rates (not persisted)");
+            CalibrationResult {
+                profile: MachineProfile::FALLBACK,
+                measured: false,
+            }
+        };
+        if timeout_ms == 0 {
+            return match std::panic::catch_unwind(MachineProfile::calibrate) {
+                Ok(profile) => CalibrationResult {
+                    profile,
+                    measured: true,
+                },
+                Err(_) => fall_back("panicked"),
+            };
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("morpheus-calibrate".into())
+            .spawn(move || {
+                // A calibration panic drops `tx`, surfacing below as a
+                // disconnect rather than unwinding into the watchdog.
+                let _ = tx.send(std::panic::catch_unwind(MachineProfile::calibrate));
+            });
+        if spawned.is_err() {
+            // No thread to watchdog with: calibrate inline, contained.
+            return match std::panic::catch_unwind(MachineProfile::calibrate) {
+                Ok(profile) => CalibrationResult {
+                    profile,
+                    measured: true,
+                },
+                Err(_) => fall_back("panicked"),
+            };
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(timeout_ms)) {
+            Ok(Ok(profile)) => CalibrationResult {
+                profile,
+                measured: true,
+            },
+            Ok(Err(_)) => fall_back("panicked"),
+            // Timeout: the calibration thread keeps running detached and
+            // its eventual result is discarded — the process has already
+            // committed to the fallback rates.
+            Err(_) => fall_back(&format!("missed its {timeout_ms} ms deadline")),
+        }
+    }
+
+    /// Writes `text` to `path` crash-safely: the bytes go to a temp file
+    /// in the same directory (same filesystem, so the rename is atomic)
+    /// and replace `path` only via `rename`. A crash or failure anywhere
+    /// in the window leaves the previous profile intact — never a
+    /// truncated or interleaved file.
+    fn persist_atomically(path: &str, text: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, text)?;
+        // `profile.write` failpoint: error kinds simulate a failed write
+        // (the temp file is cleaned up, the target untouched); a `panic`
+        // kind crashes inside the window, which must also leave the
+        // target intact — exactly what the rename ordering guarantees.
+        if faults::fire("profile.write").is_some() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(std::io::Error::other("injected profile write failure"));
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load-else-produce-and-persist: the seam behind
+    /// [`MachineProfile::global`] with the producer injected. Persistence
+    /// is best-effort and atomic, skipped for unmeasured (fallback)
+    /// rates, and a failure — including a panic inside the persistence
+    /// window — is contained and counted, never raised: a read-only path
+    /// must not break planning.
+    fn load_else_produce(
         path: Option<&str>,
-        calibrate: impl FnOnce() -> MachineProfile,
+        produce: impl FnOnce() -> CalibrationResult,
     ) -> MachineProfile {
         if let Some(p) = path {
             if let Ok(text) = std::fs::read_to_string(p) {
@@ -366,29 +486,53 @@ impl MachineProfile {
                 }
             }
         }
-        let profile = calibrate();
-        if let Some(p) = path {
-            // Persistence is best-effort: a read-only path must not
-            // break planning, so the error is reported, not raised.
-            if let Some(dir) = std::path::Path::new(p).parent() {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            if let Err(e) = std::fs::write(p, profile.to_text()) {
+        let result = produce();
+        if let (Some(p), true) = (path, result.measured) {
+            let outcome = std::panic::catch_unwind(|| {
+                MachineProfile::persist_atomically(p, &result.profile.to_text())
+            });
+            let failure: Option<String> = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(_) => Some("panic during persistence".into()),
+            };
+            if let Some(e) = failure {
+                faults::note(faults::Degradation::ProfileWriteFailure);
                 eprintln!("morpheus: could not persist profile to {p}: {e}");
             }
         }
-        profile
+        result.profile
+    }
+
+    /// Load-else-calibrate-and-persist, with the calibrator injected —
+    /// the testable seam behind [`MachineProfile::global`]. When `path`
+    /// names a readable file in the current format, its rates are
+    /// returned and `calibrate` never runs; otherwise `calibrate` runs
+    /// and its result is written to `path` (best-effort, atomically via
+    /// a same-directory temp file and rename) when one is given.
+    pub fn load_else_calibrate_with(
+        path: Option<&str>,
+        calibrate: impl FnOnce() -> MachineProfile,
+    ) -> MachineProfile {
+        Self::load_else_produce(path, || CalibrationResult {
+            profile: calibrate(),
+            measured: true,
+        })
     }
 
     /// The process-wide profile: loaded from `MORPHEUS_PROFILE_PATH` when
     /// that file exists and is current, otherwise calibrated on first use
-    /// (and written back to the path when one is named). Resolved once per
-    /// process.
+    /// under the [`CALIBRATION_TIMEOUT_ENV`] watchdog (and written back to
+    /// the path when one is named and the rates were actually measured).
+    /// Resolved once per process.
     pub fn global() -> &'static MachineProfile {
         static GLOBAL: OnceLock<MachineProfile> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let path = std::env::var(PROFILE_PATH_ENV).ok();
-            MachineProfile::load_else_calibrate_with(path.as_deref(), MachineProfile::calibrate)
+            MachineProfile::load_else_produce(
+                path.as_deref(),
+                MachineProfile::calibrate_watchdogged,
+            )
         })
     }
 

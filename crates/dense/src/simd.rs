@@ -98,7 +98,7 @@ impl GemmIsa {
         #[cfg(target_arch = "x86_64")]
         {
             let fma = std::arch::is_x86_feature_detected!("fma");
-            if Runtime::simd_enabled() && fma && std::arch::is_x86_feature_detected!("avx2") {
+            if Runtime::simd_enabled() && fma && avx2_detected() {
                 return GemmIsa::Avx2Fma;
             }
             if fma {
@@ -107,6 +107,24 @@ impl GemmIsa {
         }
         GemmIsa::Portable
     }
+}
+
+/// The AVX2 probe behind both dispatchers, injectable via the
+/// `simd.detect` failpoint: any fired kind makes the probe report
+/// "unavailable" (counted as a SIMD fallback in
+/// [`morpheus_runtime::faults::stats`]). GEMM then demotes to the
+/// scalar-FMA microkernel and the reductions to their scalar lane bodies
+/// — both bit-identical to the vector paths, so a flaky feature probe
+/// degrades speed, never results. The FMA probe stays honest: `ScalarFma`
+/// genuinely requires the instruction.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_detected() -> bool {
+    if morpheus_runtime::faults::check("simd.detect").is_some() {
+        morpheus_runtime::faults::note(morpheus_runtime::faults::Degradation::SimdFallback);
+        return false;
+    }
+    std::arch::is_x86_feature_detected!("avx2")
 }
 
 /// Process-wide ISA override: `0` none, else `GemmIsa` discriminant + 1.
@@ -396,7 +414,7 @@ const LANE_CUTOVER: usize = 32;
 fn reductions_use_avx2() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        Runtime::simd_enabled() && std::arch::is_x86_feature_detected!("avx2")
+        Runtime::simd_enabled() && avx2_detected()
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -776,5 +794,30 @@ mod tests {
         assert_eq!(GemmIsa::active(), GemmIsa::Portable);
         force_isa(None);
         assert_eq!(GemmIsa::active(), auto);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn injected_detect_failure_demotes_to_the_bit_identical_scalar_tier() {
+        use morpheus_runtime::faults;
+        let _guard = faults::exclusive();
+        let healthy = GemmIsa::active();
+        if healthy != GemmIsa::Avx2Fma {
+            return; // no AVX2 to lose on this host (or the SIMD gate is off)
+        }
+        let fallbacks_before = faults::stats().simd_fallbacks;
+        faults::configure("simd.detect=off").unwrap();
+        assert_eq!(
+            GemmIsa::active(),
+            GemmIsa::ScalarFma,
+            "a failed AVX2 probe must demote GEMM to the scalar-FMA tier"
+        );
+        // Reductions demote too, and stay bit-identical by construction.
+        let xs = series(257, 5);
+        let faulted_sum = sum(&xs);
+        faults::clear();
+        assert!(faults::stats().simd_fallbacks > fallbacks_before);
+        assert_eq!(faulted_sum, sum(&xs), "demotion must not change bits");
+        assert_eq!(GemmIsa::active(), healthy, "detection must recover");
     }
 }

@@ -1017,19 +1017,25 @@ fn collect_premat(plan: &ScriptPlan, env: &Env) -> Vec<(String, ScriptDecision)>
 // Plan cache
 // ---------------------------------------------------------------------
 
-/// Hit/miss counters of the process-wide plan cache.
+/// Hit/miss and fault counters of the process-wide plan cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Plans served from the cache.
     pub hits: u64,
     /// Plans built from scratch (while the cache was enabled).
     pub misses: u64,
+    /// Times a poisoned cache lock was recovered by clearing the cache
+    /// (cached plans are recomputed on their next use — a degradation,
+    /// never an error). Also counted in
+    /// [`morpheus_runtime::faults::stats`] as a lock recovery.
+    pub poison_recoveries: u64,
 }
 
 struct PlanCache {
     map: Mutex<HashMap<(u64, u64), Arc<ScriptPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl PlanCache {
@@ -1038,20 +1044,40 @@ impl PlanCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Locks the plan map, recovering from poisoning by **clearing** the
+    /// cache: a thread that died inside the critical section (injectable
+    /// via the `plan.cache.lookup`/`plan.cache.insert` failpoints) may
+    /// have left a torn insert behind, so the safe recovery is to drop
+    /// every entry — plans are pure functions of their key and rebuild on
+    /// the next miss. Counted, never propagated.
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), Arc<ScriptPlan>>> {
+        self.map.lock().unwrap_or_else(|e| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            morpheus_runtime::faults::note(morpheus_runtime::faults::Degradation::LockRecovery);
+            self.map.clear_poison();
+            let mut map = e.into_inner();
+            map.clear();
+            map
+        })
     }
 
     fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
     fn reset(&self) {
-        self.map.lock().unwrap().clear();
+        self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.poison_recoveries.store(0, Ordering::Relaxed);
     }
 
     fn get_or_insert_with(
@@ -1059,18 +1085,23 @@ impl PlanCache {
         key: (u64, u64),
         build: impl FnOnce() -> ScriptPlan,
     ) -> Arc<ScriptPlan> {
-        if let Some(plan) = self.map.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(plan);
+        {
+            let map = self.lock_map();
+            morpheus_runtime::faults::maybe_panic("plan.cache.lookup");
+            if let Some(plan) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(plan);
+            }
         }
         // Built outside the lock: a racing build of the same key is
         // wasted work, never wrong (both plans are identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(build());
-        let mut map = self.map.lock().unwrap();
+        let mut map = self.lock_map();
         if map.len() >= PLAN_CACHE_CAPACITY {
             map.clear();
         }
+        morpheus_runtime::faults::maybe_panic("plan.cache.insert");
         map.insert(key, Arc::clone(&plan));
         plan
     }
@@ -1676,7 +1707,14 @@ mod tests {
         let k1 = plan_key(&skeleton, &env1, PROFILE_FORMAT_VERSION);
         cache.get_or_insert_with(k1, || finish(skeleton.clone(), &env1));
         cache.get_or_insert_with(k1, || panic!("must hit"));
-        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 1,
+                poison_recoveries: 0
+            }
+        );
 
         // Same script, different base-table shape: different key.
         let env2 = env_for(pkfk(16, 2, 4, 4), 1);
@@ -1742,6 +1780,33 @@ mod tests {
         // The insert that crossed capacity cleared the map first.
         assert!(cache.map.lock().unwrap().len() <= PLAN_CACHE_CAPACITY);
         assert_eq!(cache.stats().misses, (PLAN_CACHE_CAPACITY + 1) as u64);
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_by_clearing() {
+        use morpheus_runtime::faults;
+        let _guard = faults::exclusive();
+        let cache = PlanCache::new();
+        let plan_of = |src: &str| lower(&optimize(&parse(src).unwrap()));
+        cache.get_or_insert_with((1, 1), || plan_of("1 + 1"));
+        assert_eq!(cache.stats().hits + cache.stats().misses, 1);
+        // Kill a thread inside the cache's critical section: the mutex is
+        // now poisoned.
+        faults::configure("plan.cache.lookup=panic(times=1)").unwrap();
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_insert_with((2, 2), || plan_of("2 + 2"))
+        }));
+        faults::clear();
+        assert!(died.is_err(), "injected lookup panic must propagate");
+        assert!(cache.map.is_poisoned());
+        // The next access recovers by clearing — no propagated poison,
+        // the counter ticks, and the cache works again (a miss, since
+        // recovery dropped the entries).
+        let recoveries_before = cache.stats().poison_recoveries;
+        cache.get_or_insert_with((1, 1), || plan_of("1 + 1"));
+        assert_eq!(cache.stats().poison_recoveries, recoveries_before + 1);
+        assert!(!cache.map.is_poisoned());
+        cache.get_or_insert_with((1, 1), || panic!("must hit after recovery"));
     }
 
     #[test]

@@ -42,6 +42,20 @@ fn into_ok<T>(m: Mutex<T>) -> T {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Locks a per-stride slot inside a running section.
+///
+/// Unwrap audit: every `Mutex` this touches is owned by exactly one
+/// stride, each stride is claimed by exactly one thread, and panics in
+/// stride bodies are caught *before* the slot lock is taken again — so
+/// the lock is never contended and can never be observed poisoned here.
+/// This is a programmer-error invariant of the executor, not a state
+/// reachable from user input or I/O, hence `unwrap` rather than a
+/// `MorpheusError` return.
+fn lock_slot<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock()
+        .expect("executor: per-stride slot lock poisoned (single-claimant invariant broken)")
+}
+
 impl Executor {
     /// Creates an executor with an explicit worker count (minimum 1).
     pub fn new(threads: usize) -> Self {
@@ -96,7 +110,7 @@ impl Executor {
             .map(|_| Mutex::new(Vec::with_capacity(n.div_ceil(workers))))
             .collect();
         pool::broadcast(workers, &|stride| {
-            let mut buf = buffers[stride].lock().unwrap();
+            let mut buf = lock_slot(&buffers[stride]);
             let mut i = stride;
             while i < n {
                 buf.push(f(i));
@@ -163,7 +177,7 @@ impl Executor {
         }
         let slots: Vec<Mutex<Vec<W>>> = assignments.into_iter().map(Mutex::new).collect();
         pool::broadcast(workers, &|stride| {
-            let own = std::mem::take(&mut *slots[stride].lock().unwrap());
+            let own = std::mem::take(&mut *lock_slot(&slots[stride]));
             for item in own {
                 f(item);
             }
@@ -199,7 +213,7 @@ impl Executor {
                 });
                 i += workers;
             }
-            *slots[stride].lock().unwrap() = acc;
+            *lock_slot(&slots[stride]) = acc;
         });
         let mut partials: Vec<T> = slots.into_iter().filter_map(into_ok).collect();
         // Tree combine: pairwise rounds over the worker partials, in
@@ -255,7 +269,7 @@ impl Executor {
         let slots: Vec<Mutex<Assignment<'_, T>>> =
             assignments.into_iter().map(Mutex::new).collect();
         pool::broadcast(workers, &|stride| {
-            let mut own = slots[stride].lock().unwrap();
+            let mut own = lock_slot(&slots[stride]);
             for (i, chunk) in own.iter_mut() {
                 f(*i, chunk);
             }
@@ -281,11 +295,11 @@ impl Executor {
         let rb: Mutex<Option<B>> = Mutex::new(None);
         pool::broadcast(2, &|stride| {
             if stride == 0 {
-                let f = fa.lock().unwrap().take().expect("par_join: fa taken twice");
-                *ra.lock().unwrap() = Some(f());
+                let f = lock_slot(&fa).take().expect("par_join: fa taken twice");
+                *lock_slot(&ra) = Some(f());
             } else {
-                let f = fb.lock().unwrap().take().expect("par_join: fb taken twice");
-                *rb.lock().unwrap() = Some(f());
+                let f = lock_slot(&fb).take().expect("par_join: fb taken twice");
+                *lock_slot(&rb) = Some(f());
             }
         });
         let a = into_ok(ra).expect("par_join: missing first result");

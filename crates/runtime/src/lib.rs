@@ -45,8 +45,26 @@
 //! the *per-output-element accumulation order* of their serial versions,
 //! so parallel and single-threaded runs agree bit-for-bit at any worker
 //! count, including oversubscribed ones.
+//!
+//! ## Failure model
+//!
+//! The runtime is engineered to degrade, never to wedge (see [`faults`]
+//! for the deterministic failpoint registry that tests this, and the
+//! README's "Failure model" section for the operator view):
+//!
+//! * A resident worker that dies heals in place; unclaimed strides fall
+//!   to the submitter, so no job is ever lost ([`pool`] docs).
+//! * A pool that cannot be (re)built degrades every parallel section to
+//!   inline serial execution on the caller — bit-identical results, one
+//!   warning, and a counter in [`faults::stats`].
+//! * Pool and job locks recover from poisoning instead of propagating
+//!   it; the state they guard is torn-update-free by construction.
+//! * Stride-body panics are caught per stride and re-thrown exactly once
+//!   on the submitting thread after the section completes — a panicking
+//!   kernel can never strand a worker or a sibling section.
 
 mod executor;
+pub mod faults;
 mod pool;
 mod runtime;
 pub mod timing;

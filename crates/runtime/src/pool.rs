@@ -19,6 +19,27 @@
 //! workers, shrinkage wakes the excess so they exit after finishing the
 //! job they are on. Panics inside a job are caught on whichever thread ran
 //! the stride and re-thrown on the submitting thread once the job ends.
+//!
+//! ## Self-healing and degradation
+//!
+//! The pool is built to survive its own failure modes (see
+//! [`crate::faults`] for the failpoints that exercise them):
+//!
+//! * **Worker death.** A panic that escapes the job level (impossible from
+//!   stride bodies, which are individually caught — but injectable, and
+//!   conceivable from e.g. allocation failure in the loop itself) lands in
+//!   [`worker_main`], which records the death and re-enters the loop: the
+//!   worker heals in place and the census stays exact. Strides are claimed
+//!   atomically and only marked complete after running, so a death never
+//!   loses work — unclaimed strides fall to the submitter.
+//! * **Spawn failure.** If the OS refuses a thread during growth, the pool
+//!   runs with the workers it has; with none at all, every section runs
+//!   inline on its submitter (bit-identical, just serial) and a one-time
+//!   warning is printed.
+//! * **Lock poisoning.** All pool locks recover from poisoning instead of
+//!   propagating it: state under them is either append-only bookkeeping or
+//!   monotone counters, so a poisoned guard cannot carry a torn update.
+//!   Each recovery is counted in [`crate::faults::stats`].
 
 // The single place in the workspace that needs `unsafe`: resident workers
 // are `'static` threads, but jobs borrow from the submitter's stack, so the
@@ -27,11 +48,11 @@
 // which is the same contract `std::thread::scope` is built on.
 #![allow(unsafe_code)]
 
-use crate::claim;
+use crate::{claim, faults};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock};
 
 /// A lifetime-erased pointer to a job's per-stride body. The submitter
 /// blocks in [`broadcast`] until every stride completed, so the pointee
@@ -69,6 +90,17 @@ struct Job {
 }
 
 impl Job {
+    /// Locks the progress record, recovering from poisoning: `Progress`
+    /// is a counter plus an owned payload slot, both updated in single
+    /// statements, so a poisoned guard cannot expose a torn state.
+    fn lock_progress(&self) -> MutexGuard<'_, Progress> {
+        self.progress.lock().unwrap_or_else(|e| {
+            faults::note(faults::Degradation::LockRecovery);
+            self.progress.clear_poison();
+            e.into_inner()
+        })
+    }
+
     /// Claims and runs strides until none remain. Called by the submitter
     /// and by any helping resident worker; safe to call after exhaustion
     /// (returns immediately without touching `body`).
@@ -83,8 +115,11 @@ impl Job {
             // workers`, and `completed` is only incremented after the body
             // call below returns — the pointee is alive here.
             let body = unsafe { &*self.body.0 };
-            let result = catch_unwind(AssertUnwindSafe(|| body(stride)));
-            let mut progress = self.progress.lock().unwrap();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                faults::maybe_panic("exec.stride");
+                body(stride)
+            }));
+            let mut progress = self.lock_progress();
             if let Err(payload) = result {
                 if progress.panic.is_none() {
                     progress.panic = Some(payload);
@@ -121,6 +156,17 @@ struct Pool {
     work: Condvar,
 }
 
+/// Locks the pool state, recovering from poisoning: the state is a job
+/// list mutated by single push/retain calls plus two counters, so a
+/// poisoned guard cannot expose a torn update.
+fn lock_state(p: &Pool) -> MutexGuard<'_, PoolState> {
+    p.state.lock().unwrap_or_else(|e| {
+        faults::note(faults::Degradation::LockRecovery);
+        p.state.clear_poison();
+        e.into_inner()
+    })
+}
+
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     static STARTED: Once = Once::new();
@@ -139,10 +185,31 @@ fn pool() -> &'static Pool {
     pool
 }
 
+/// Resident-worker entry point: runs [`worker_loop`] and heals the worker
+/// in place if a panic ever escapes it. Stride-body panics are caught per
+/// stride inside the job, so an escaping panic means the loop machinery
+/// itself died (injected via the `pool.worker` failpoint); the worker
+/// counts the death and re-enters — `alive` still counts this thread, so
+/// the census stays exact and the pool returns to full strength without
+/// spawning.
+fn worker_main(pool: &'static Pool) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(pool))) {
+            // Normal exit: the pool shrank and `worker_loop` already
+            // decremented `alive` for this thread.
+            Ok(()) => return,
+            Err(_) => {
+                faults::note(faults::Degradation::WorkerDeath);
+                faults::note(faults::Degradation::WorkerRespawn);
+            }
+        }
+    }
+}
+
 /// Parked-worker main loop: help any job with unclaimed strides, park
 /// otherwise, exit when the pool shrank below the live count.
 fn worker_loop(pool: &'static Pool) {
-    let mut state = pool.state.lock().unwrap();
+    let mut state = lock_state(pool);
     loop {
         if state.alive > state.target {
             state.alive -= 1;
@@ -152,10 +219,20 @@ fn worker_loop(pool: &'static Pool) {
         match job {
             Some(job) => {
                 drop(state);
+                // Worker-death injection point: the panic unwinds past the
+                // whole loop (no stride claimed yet, no lock held) and is
+                // healed by `worker_main`.
+                faults::maybe_panic("pool.worker");
                 job.run_strides();
-                state = pool.state.lock().unwrap();
+                state = lock_state(pool);
             }
-            None => state = pool.work.wait(state).unwrap(),
+            None => {
+                state = pool.work.wait(state).unwrap_or_else(|e| {
+                    faults::note(faults::Degradation::LockRecovery);
+                    pool.state.clear_poison();
+                    e.into_inner()
+                });
+            }
         }
     }
 }
@@ -169,18 +246,40 @@ pub(crate) fn resize(target: usize) {
     resize_on(pool(), target);
 }
 
+/// Warns exactly once per process when parallel sections degrade to
+/// inline serial execution because no resident worker could be kept.
+fn warn_pool_down_once() {
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "morpheus: worker pool unavailable; \
+             running parallel sections inline on the caller"
+        );
+    });
+}
+
 fn resize_on(p: &'static Pool, target: usize) {
-    let mut state = p.state.lock().unwrap();
+    let mut state = lock_state(p);
     state.target = target;
     while state.alive < state.target {
-        let spawned = std::thread::Builder::new()
-            .name("morpheus-pool-worker".into())
-            .spawn(|| worker_loop(pool()));
+        let spawned = if faults::check("pool.spawn").is_some() {
+            Err(std::io::Error::other("injected spawn failure"))
+        } else {
+            std::thread::Builder::new()
+                .name("morpheus-pool-worker".into())
+                .spawn(|| worker_main(pool()))
+        };
         match spawned {
             Ok(_) => state.alive += 1,
             // Out of threads: run with what we have — broadcast degrades
             // to fewer helpers, never to incorrect results.
-            Err(_) => break,
+            Err(_) => {
+                faults::note(faults::Degradation::PoolSpawnFailure);
+                if state.alive == 0 {
+                    warn_pool_down_once();
+                }
+                break;
+            }
         }
     }
     if state.alive > state.target {
@@ -193,8 +292,16 @@ fn resize_on(p: &'static Pool, target: usize) {
 /// workers, and returns when all strides completed. Every stride runs
 /// under the nested-claim multiplier `claim::current() * workers`. The
 /// first panic among the strides is re-thrown here after the section ends.
+///
+/// Dispatch itself can degrade: when the `pool.dispatch` failpoint fires
+/// an error kind, or the pool has no live workers while some were
+/// requested, the section is not published and the submitter runs every
+/// stride inline — bit-identical results, counted as a serial fallback.
 pub(crate) fn broadcast(workers: usize, body: &(dyn Fn(usize) + Sync)) {
     debug_assert!(workers >= 2, "broadcast: single-stride jobs run inline");
+    // A `panic` kind unwinds on the submitter here, before anything is
+    // published; any other kind makes dispatch report "unavailable".
+    let dispatch_ok = faults::fire("pool.dispatch").is_none();
     let child_claim = claim::current().saturating_mul(workers);
     // Safety: the raw pointer is dereferenced only by `Job::run_strides`
     // for strides claimed before this function returns; we block on the
@@ -214,27 +321,42 @@ pub(crate) fn broadcast(workers: usize, body: &(dyn Fn(usize) + Sync)) {
     });
     let p = pool();
     let published = {
-        let mut state = p.state.lock().unwrap();
-        if state.alive > 0 {
+        let mut state = lock_state(p);
+        if !dispatch_ok {
+            faults::note(faults::Degradation::PoolSerialFallback);
+            false
+        } else if state.alive > 0 {
             state.jobs.push(Arc::clone(&job));
             p.work.notify_all();
             true
         } else {
-            false // no helpers exist; skip the queue round-trip
+            // No helpers exist; skip the queue round-trip. With a zero
+            // target this is the configured 1-thread mode, not a
+            // degradation — only a pool that *should* have workers but
+            // has none counts as a serial fallback.
+            if state.target > 0 {
+                faults::note(faults::Degradation::PoolSerialFallback);
+                warn_pool_down_once();
+            }
+            false
         }
     };
     // The submitter is always a worker of its own job — progress never
     // depends on a resident worker being free.
     claim::scoped(claim::current(), || job.run_strides());
     let panic = {
-        let mut progress = job.progress.lock().unwrap();
+        let mut progress = job.lock_progress();
         while progress.completed < job.workers {
-            progress = job.done.wait(progress).unwrap();
+            progress = job.done.wait(progress).unwrap_or_else(|e| {
+                faults::note(faults::Degradation::LockRecovery);
+                job.progress.clear_poison();
+                e.into_inner()
+            });
         }
         progress.panic.take()
     };
     if published {
-        let mut state = p.state.lock().unwrap();
+        let mut state = lock_state(p);
         state.jobs.retain(|j| !Arc::ptr_eq(j, &job));
     }
     if let Some(payload) = panic {
@@ -246,6 +368,7 @@ pub(crate) fn broadcast(workers: usize, body: &(dyn Fn(usize) + Sync)) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     #[test]
     fn broadcast_runs_every_stride_once() {
@@ -292,5 +415,87 @@ mod tests {
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "stride failure");
+    }
+
+    #[test]
+    fn injected_dispatch_fault_degrades_to_inline_serial() {
+        let _guard = faults::exclusive();
+        let fallbacks_before = faults::stats().pool_serial_fallbacks;
+        faults::configure("pool.dispatch=error").unwrap();
+        let hits = AtomicUsize::new(0);
+        broadcast(6, &|stride| {
+            hits.fetch_add(stride + 1, Ordering::Relaxed);
+        });
+        faults::clear();
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            21,
+            "results must be identical"
+        );
+        assert!(faults::stats().pool_serial_fallbacks > fallbacks_before);
+    }
+
+    #[test]
+    fn injected_spawn_failure_leaves_a_working_degraded_pool() {
+        let _guard = faults::exclusive();
+        let before = crate::Runtime::threads();
+        resize(0);
+        let failures_before = faults::stats().pool_spawn_failures;
+        faults::configure("pool.spawn=error").unwrap();
+        resize(2); // every spawn fails: pool stays empty
+        faults::clear();
+        assert!(faults::stats().pool_spawn_failures > failures_before);
+        let hits = AtomicUsize::new(0);
+        broadcast(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            4,
+            "inline serial must still run"
+        );
+        resize(before.saturating_sub(1));
+    }
+
+    #[test]
+    fn dead_workers_heal_and_the_pool_keeps_working() {
+        let _guard = faults::exclusive();
+        let before = crate::Runtime::threads();
+        let deaths_before = faults::stats().worker_deaths;
+        faults::configure("pool.worker=panic(times=2)").unwrap();
+        // Workers race the submitter for jobs; strides sleep so helpers
+        // reliably claim some. Loop until the failpoint demonstrably
+        // fired (a concurrent test may transiently shrink the pool).
+        for _ in 0..200 {
+            resize(3);
+            let hits = AtomicUsize::new(0);
+            broadcast(4, &|_| {
+                std::thread::sleep(Duration::from_millis(1));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4, "no stride may be lost");
+            if faults::fired_count("pool.worker") >= 2 {
+                break;
+            }
+        }
+        let fired = faults::fired_count("pool.worker");
+        faults::clear();
+        assert_eq!(fired, 2, "worker-death failpoint must have fired");
+        let s = faults::stats();
+        assert!(
+            s.worker_deaths >= deaths_before + 2,
+            "deaths must be counted"
+        );
+        assert!(
+            s.worker_respawns >= s.worker_deaths - deaths_before,
+            "heals must be counted"
+        );
+        // The healed pool still produces correct results.
+        let hits = AtomicUsize::new(0);
+        broadcast(8, &|stride| {
+            hits.fetch_add(stride, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 28);
+        resize(before.saturating_sub(1));
     }
 }

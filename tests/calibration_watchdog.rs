@@ -1,0 +1,98 @@
+//! The calibration watchdog end to end: a hostile machine (simulated by
+//! the `profile.calibrate` failpoint) must never block first use — the
+//! planner proceeds on the built-in fallback rates, the timeout is
+//! counted, and the fallback is **never persisted** so a later healthy
+//! process still calibrates for real.
+//!
+//! This binary owns `MORPHEUS_CALIBRATION_TIMEOUT_MS` and
+//! `MORPHEUS_PROFILE_PATH` (its `MachineProfile::global()` resolution is
+//! the one under test), so these tests live apart from the other profile
+//! suites. Every test holds the failpoint registry's exclusive guard and
+//! mutates the env only inside it.
+
+use morpheus::prelude::*;
+use morpheus::runtime::faults;
+
+#[test]
+fn hostile_first_use_falls_back_and_does_not_persist() {
+    let _guard = faults::exclusive();
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "morpheus-watchdog-global-{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var(morpheus::core::PROFILE_PATH_ENV, &path);
+    std::env::set_var(morpheus::core::CALIBRATION_TIMEOUT_ENV, "50");
+    let timeouts_before = faults::stats().calibration_timeouts;
+    faults::configure("profile.calibrate=sleep(5000)").unwrap();
+    // First use: calibration hangs, the watchdog trips at 50 ms, and the
+    // process gets the built-in rates instead of blocking five seconds.
+    let profile = *MachineProfile::global();
+    faults::clear();
+    assert_eq!(profile, MachineProfile::FALLBACK);
+    assert!(faults::stats().calibration_timeouts > timeouts_before);
+    // Unmeasured rates must not poison the profile cache on disk: a
+    // later healthy process has to calibrate for real.
+    assert!(
+        !path.exists(),
+        "fallback rates must never be persisted to MORPHEUS_PROFILE_PATH"
+    );
+    std::env::remove_var(morpheus::core::CALIBRATION_TIMEOUT_ENV);
+    std::env::remove_var(morpheus::core::PROFILE_PATH_ENV);
+}
+
+#[test]
+fn watchdogged_calibration_times_out_to_fallback_rates() {
+    let _guard = faults::exclusive();
+    std::env::set_var(morpheus::core::CALIBRATION_TIMEOUT_ENV, "50");
+    let timeouts_before = faults::stats().calibration_timeouts;
+    faults::configure("profile.calibrate=sleep(2000)").unwrap();
+    let result = MachineProfile::calibrate_watchdogged();
+    faults::clear();
+    std::env::remove_var(morpheus::core::CALIBRATION_TIMEOUT_ENV);
+    assert!(
+        !result.measured,
+        "a timed-out calibration is not a measurement"
+    );
+    assert_eq!(result.profile, MachineProfile::FALLBACK);
+    assert!(faults::stats().calibration_timeouts > timeouts_before);
+}
+
+#[test]
+fn crashed_calibration_falls_back_instead_of_unwinding() {
+    let _guard = faults::exclusive();
+    // Generous deadline: the fallback here comes from the *death* of the
+    // calibration thread (channel disconnect), not the timeout.
+    std::env::set_var(morpheus::core::CALIBRATION_TIMEOUT_ENV, "60000");
+    let timeouts_before = faults::stats().calibration_timeouts;
+    faults::configure("profile.calibrate=panic").unwrap();
+    let result = MachineProfile::calibrate_watchdogged();
+    faults::clear();
+    std::env::remove_var(morpheus::core::CALIBRATION_TIMEOUT_ENV);
+    assert!(!result.measured);
+    assert_eq!(result.profile, MachineProfile::FALLBACK);
+    assert!(faults::stats().calibration_timeouts > timeouts_before);
+}
+
+#[test]
+fn disabled_watchdog_still_contains_a_calibration_panic() {
+    let _guard = faults::exclusive();
+    std::env::set_var(morpheus::core::CALIBRATION_TIMEOUT_ENV, "0");
+    faults::configure("profile.calibrate=panic").unwrap();
+    let result = MachineProfile::calibrate_watchdogged();
+    faults::clear();
+    std::env::remove_var(morpheus::core::CALIBRATION_TIMEOUT_ENV);
+    assert!(!result.measured);
+    assert_eq!(result.profile, MachineProfile::FALLBACK);
+}
+
+#[test]
+fn healthy_calibration_is_measured() {
+    let _guard = faults::exclusive();
+    // Default (generous) deadline, no faults: the real microbenchmarks
+    // run and the result counts as measured (hence persistable).
+    let result = MachineProfile::calibrate_watchdogged();
+    assert!(result.measured);
+    assert!(result.profile.ew_ns > 0.0 && result.profile.ew_ns.is_finite());
+}

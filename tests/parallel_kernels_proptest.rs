@@ -352,3 +352,31 @@ proptest! {
         prop_assert_eq!(a.crossprod(), a.crossprod_with(&serial));
     }
 }
+
+/// With no failpoints configured, a healthy parallel run must leave every
+/// fault and degradation counter at zero — the fault machinery is free
+/// and silent on the happy path. Skipped when `MORPHEUS_FAILPOINTS` is
+/// set (the CI chaos pass injects faults into this very binary, and the
+/// counters then *should* tick).
+#[test]
+fn unfaulted_runs_leave_every_fault_counter_at_zero() {
+    use morpheus::runtime::faults;
+    if std::env::var_os(faults::FAILPOINTS_ENV).is_some() {
+        return;
+    }
+    let a = mat(48, 16, 0xFEED);
+    let b = mat(16, 48, 0xBEEF);
+    let configured = Runtime::threads();
+    Runtime::set_threads(4);
+    let product = a.matmul(&b);
+    let cp = a.crossprod();
+    Runtime::set_threads(configured);
+    assert_eq!(product, a.matmul_with(&b, &Executor::serial()));
+    assert_eq!(cp, a.crossprod_with(&Executor::serial()));
+    let stats = faults::stats();
+    assert_eq!(
+        stats,
+        faults::FaultStats::default(),
+        "no fault counter may tick without an injected fault: {stats:?}"
+    );
+}
