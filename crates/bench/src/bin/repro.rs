@@ -9,9 +9,11 @@
 //! Experiment ids follow the paper: `table3`, `fig3`, `fig4`, `fig5a`,
 //! `fig5b`, `fig5c`, `fig5d`, `table6`, `table7`, `table8`, `table9`,
 //! `table10`, `table12`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
-//! `fig12`, `ablation-crossprod`, `ablation-order`, `ablation-decision`.
+//! `fig12`, `ablation-crossprod`, `ablation-order`, `ablation-decision`,
+//! plus the serving benchmark `serve` (not from the paper: micro-batched
+//! vs per-request scoring throughput/latency).
 
-use morpheus_bench::experiments::{ablation, algorithms, mn, operators, ore, tables};
+use morpheus_bench::experiments::{ablation, algorithms, mn, operators, ore, serve, tables};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -38,6 +40,7 @@ const ALL: &[&str] = &[
     "ablation-crossprod",
     "ablation-order",
     "ablation-decision",
+    "serve",
 ];
 
 fn run(name: &str, quick: bool) -> bool {
@@ -134,6 +137,10 @@ fn run(name: &str, quick: bool) -> bool {
         "ablation-decision" => {
             ablation::ablation_decision(quick);
             ablation::print_adaptive_demo();
+            true
+        }
+        "serve" => {
+            serve::throughput(quick);
             true
         }
         _ => false,

@@ -185,8 +185,7 @@ pub fn table8(quick: bool) -> Vec<Row> {
         let parts = ds.tn.parts();
         let s = parts[0].table().to_dense();
         let r = parts[1].table().to_dense();
-        let k = parts[1].indicator().as_rows().expect("pk-fk indicator");
-        let fk: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+        let fk = parts[1].indicator().assignment(parts[1].table().rows());
 
         let trainer = LogisticRegressionGd::new(1e-3, iters);
         let (t_m, _) = time_median(reps, || black_box(trainer.fit(&tm, &y)));
@@ -225,8 +224,7 @@ pub fn table12(quick: bool) -> Vec<Row> {
             .iter()
             .skip(1)
             .map(|p| {
-                let k = p.indicator().as_rows().expect("star indicator");
-                let fk: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+                let fk = p.indicator().assignment(p.table().rows());
                 (fk, p.table().clone())
             })
             .collect();

@@ -61,11 +61,7 @@ impl ChunkedNormalizedMatrix {
         let mut assigns = Vec::with_capacity(t.parts().len());
         for part in t.parts() {
             tables.push(part.table().clone());
-            let assign: Vec<usize> = match part.indicator().as_rows() {
-                None => (0..n_rows).collect(),
-                Some(k) => (0..k.rows()).map(|i| k.row(i).0[0]).collect(),
-            };
-            assigns.push(assign);
+            assigns.push(part.indicator().assignment(n_rows));
         }
         let mut chunk_offsets = vec![0usize];
         let mut start = 0;

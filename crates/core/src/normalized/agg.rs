@@ -73,8 +73,10 @@ impl NormalizedMatrix {
 
     fn row_sums_raw(&self) -> DenseMatrix {
         let mut acc = DenseMatrix::zeros(self.n_rows, 1);
+        let n = self.n_rows;
         for p in &self.parts {
-            p.indicator.apply_add_into(&p.table.row_sums(), &mut acc);
+            p.indicator
+                .apply_add_into(&p.table.row_sums(), acc.as_mut_slice(), n);
         }
         acc
     }

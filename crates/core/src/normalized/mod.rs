@@ -76,22 +76,28 @@ impl Indicator {
 
     /// `out += K * x` for dense `x`, without allocating the intermediate
     /// `K x`. This is the hot inner step of the LMM rewrite; for one-hot
-    /// indicators it reduces to a gather-add.
+    /// indicators it reduces to a gather-add. `out` is a row-major
+    /// `out_rows x x.cols()` slice — a plain buffer, so callers can reuse
+    /// one allocation across batches.
     ///
     /// # Panics
     /// Panics (debug) if shapes disagree.
-    pub(crate) fn apply_add_into(&self, x: &DenseMatrix, out: &mut DenseMatrix) {
-        debug_assert_eq!(x.cols(), out.cols());
+    pub(crate) fn apply_add_into(&self, x: &DenseMatrix, out: &mut [f64], out_rows: usize) {
+        let m = x.cols();
+        debug_assert_eq!(out.len(), out_rows * m);
         match self {
-            Indicator::Identity => out.add_assign(x),
+            Indicator::Identity => {
+                debug_assert_eq!(x.rows(), out_rows);
+                for (o, &v) in out.iter_mut().zip(x.as_slice()) {
+                    *o += v;
+                }
+            }
             Indicator::Rows(k) => {
-                debug_assert_eq!(k.rows(), out.rows());
-                let m = out.cols();
+                debug_assert_eq!(k.rows(), out_rows);
                 if m == 1 {
                     // Vector fast path: one fused gather-add per logical row.
                     let xs = x.as_slice();
-                    let os = out.as_mut_slice();
-                    for (i, o) in os.iter_mut().enumerate() {
+                    for (i, o) in out.iter_mut().enumerate() {
                         let (cols, vals) = k.row(i);
                         for (&c, &v) in cols.iter().zip(vals) {
                             *o += v * xs[c];
@@ -101,7 +107,7 @@ impl Indicator {
                 }
                 for i in 0..k.rows() {
                     let (cols, vals) = k.row(i);
-                    let orow = out.row_mut(i);
+                    let orow = &mut out[i * m..(i + 1) * m];
                     for (&c, &v) in cols.iter().zip(vals) {
                         let xrow = x.row(c);
                         for (o, &xv) in orow.iter_mut().zip(xrow) {
@@ -138,8 +144,10 @@ impl Indicator {
         }
     }
 
-    /// The row assignment `a` with `K[i, a[i]] = 1` (identity ⇒ `a[i] = i`).
-    pub(crate) fn assignment(&self, table_rows: usize) -> Vec<usize> {
+    /// The row assignment `a` with `K[i, a[i]] = 1` (identity ⇒ `a[i] = i`)
+    /// — the centralized way to recover a foreign-key column from a
+    /// one-hot indicator instead of walking CSR rows by hand.
+    pub fn assignment(&self, table_rows: usize) -> Vec<usize> {
         match self {
             Indicator::Identity => (0..table_rows).collect(),
             Indicator::Rows(k) => (0..k.rows()).map(|i| k.row(i).0[0]).collect(),
@@ -636,6 +644,81 @@ impl NormalizedMatrix {
             transposed: self.transposed,
         }
     }
+
+    /// Selects logical rows (with repetition, in the given order) directly
+    /// on the factorized representation — the row-slice a batched scoring
+    /// request evaluates, built **without** materializing the join.
+    ///
+    /// Per part: the indicator assignment is composed with `rows`, the
+    /// base table keeps only the referenced attribute rows (in first-use
+    /// order, so the result is deterministic), and a fresh one-hot
+    /// indicator maps slice rows onto them. Requests that share an
+    /// attribute row therefore still share one stored copy and one flop
+    /// in every downstream rewrite — the paper's redundancy avoidance,
+    /// carried into the slice. Identity parts gather their entity rows
+    /// (each logical row owns exactly one).
+    ///
+    /// # Panics
+    /// Panics if any index is `>= self.rows()` or if the matrix is
+    /// transposed (a transposed selection would be a column slice).
+    pub fn select_rows(&self, rows: &[usize]) -> NormalizedMatrix {
+        assert!(
+            !self.transposed,
+            "select_rows: selecting columns of a transposed view is unsupported"
+        );
+        let n = self.n_rows;
+        if let Some(&bad) = rows.iter().find(|&&r| r >= n) {
+            panic!("select_rows: row {bad} out of range for {n} logical rows");
+        }
+        let parts = self
+            .parts
+            .iter()
+            .map(|p| match &p.indicator {
+                Indicator::Identity => {
+                    AttributePart::new(Indicator::Identity, p.table.gather_rows(rows))
+                }
+                Indicator::Rows(k) => {
+                    let table_rows = p.table.rows();
+                    // Compose the assignment and compress to the
+                    // referenced base rows in first-use order. The dense
+                    // remap is O(table_rows) to zero, so small slices of
+                    // big tables use a map keyed by base row instead.
+                    let mut keep: Vec<usize> = Vec::new();
+                    let assign: Vec<usize> = if rows.len() * 8 >= table_rows {
+                        let mut remap = vec![usize::MAX; table_rows];
+                        rows.iter()
+                            .map(|&r| {
+                                let old = k.row(r).0[0];
+                                if remap[old] == usize::MAX {
+                                    remap[old] = keep.len();
+                                    keep.push(old);
+                                }
+                                remap[old]
+                            })
+                            .collect()
+                    } else {
+                        let mut remap = std::collections::HashMap::with_capacity(rows.len());
+                        rows.iter()
+                            .map(|&r| {
+                                let old = k.row(r).0[0];
+                                *remap.entry(old).or_insert_with(|| {
+                                    keep.push(old);
+                                    keep.len() - 1
+                                })
+                            })
+                            .collect()
+                    };
+                    let new_k = CsrMatrix::indicator(&assign, keep.len());
+                    AttributePart::new(Indicator::Rows(Arc::new(new_k)), p.table.gather_rows(&keep))
+                }
+            })
+            .collect();
+        NormalizedMatrix {
+            parts,
+            n_rows: rows.len(),
+            transposed: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -895,5 +978,99 @@ mod tests {
         assert!(tn.parts().iter().all(|p| !p.indicator().is_identity()));
         let t = tn.materialize().to_dense();
         assert_eq!(t.row(0), &[1.0, 2.0, 3.0]); // r1 row 0, r2 row 2
+    }
+
+    #[test]
+    fn select_rows_matches_materialized_gather() {
+        for tn in [figure2(), star2(), mn(), sparse_pkfk()] {
+            let n = tn.rows();
+            // Repeats, out-of-order, and a singleton — the shapes batching
+            // produces.
+            for rows in [
+                vec![0],
+                vec![n - 1, 0, n - 1],
+                (0..n).rev().collect::<Vec<_>>(),
+                vec![1 % n, 1 % n, 0, n - 1],
+            ] {
+                let slice = tn.select_rows(&rows);
+                assert_eq!(slice.shape(), (rows.len(), tn.cols()));
+                let got = slice.materialize().to_dense();
+                let want = tn.materialize().gather_rows(&rows).to_dense();
+                assert!(got.approx_eq(&want, 0.0), "slice diverged for {rows:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_stays_factorized_and_compressed() {
+        // 6 logical rows over a 4-row attribute table, slice touching
+        // only base rows {1, 0}: the slice keeps an explicit indicator
+        // over a 2-row table — no join materialization, no dead rows.
+        let s = DenseMatrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64);
+        let r = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let fk = [1usize, 0, 1, 3, 2, 1];
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        let slice = tn.select_rows(&[0, 1, 2, 5]);
+        let attr = &slice.parts()[1];
+        assert!(!attr.indicator().is_identity());
+        assert_eq!(attr.table().rows(), 2, "only referenced base rows kept");
+        // Shared base rows are stored once: rows 0, 2, 5 all map to base 1.
+        let k = attr.indicator().as_rows().unwrap();
+        assert_eq!(k.row(0).0[0], k.row(2).0[0]);
+        assert_eq!(k.row(0).0[0], k.row(3).0[0]);
+    }
+
+    #[test]
+    fn select_rows_bitwise_stable_across_batch_composition() {
+        // The value scored for a logical row must not depend on which
+        // other rows share its batch — the micro-batching correctness
+        // contract.
+        let tn = sparse_pkfk();
+        let w = DenseMatrix::from_fn(tn.cols(), 1, |i, _| (i as f64 * 0.7) - 1.0);
+        let solo: Vec<f64> = (0..tn.rows())
+            .map(|i| tn.select_rows(&[i]).lmm(&w).get(0, 0))
+            .collect();
+        let batch = tn.select_rows(&(0..tn.rows()).collect::<Vec<_>>()).lmm(&w);
+        for (i, &s) in solo.iter().enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                batch.get(i, 0).to_bits(),
+                "row {i} changed bits between batch sizes"
+            );
+        }
+    }
+
+    #[test]
+    fn lmm_into_is_bit_identical_to_lmm() {
+        for tn in [figure2(), star2(), mn(), sparse_pkfk()] {
+            for m in [1usize, 3] {
+                let x = DenseMatrix::from_fn(tn.cols(), m, |i, j| (i + 2 * j) as f64 * 0.25 - 1.0);
+                let alloc = tn.lmm(&x);
+                let mut buf = vec![f64::NAN; tn.rows() * m];
+                tn.lmm_into(&x, &mut buf);
+                for (a, b) in alloc.as_slice().iter().zip(&buf) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                // Transposed views fall back to the allocating dispatch.
+                let tt = tn.transpose();
+                let xt = DenseMatrix::from_fn(tt.cols(), m, |i, j| (i * 3 + j) as f64 * 0.5);
+                let alloc_t = tt.lmm(&xt);
+                let mut buf_t = vec![0.0; tt.rows() * m];
+                tt.lmm_into(&xt, &mut buf_t);
+                assert_eq!(alloc_t.as_slice(), &buf_t[..]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "select_rows: row 7 out of range")]
+    fn select_rows_rejects_out_of_range() {
+        figure2().select_rows(&[0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "transposed")]
+    fn select_rows_rejects_transposed() {
+        figure2().transpose().select_rows(&[0]);
     }
 }

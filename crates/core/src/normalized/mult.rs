@@ -108,22 +108,64 @@ impl NormalizedMatrix {
         acc
     }
 
+    /// `T X` written into a caller-provided buffer (row-major,
+    /// `rows() * x.cols()` slots) instead of allocating the output — the
+    /// batch-scoring hot path, where the same buffer is reused across
+    /// micro-batches. Bit-identical to [`NormalizedMatrix::lmm`] by
+    /// construction: both run [`NormalizedMatrix::lmm_accumulate`].
+    ///
+    /// Transposed views take the allocating dispatch and copy (their
+    /// result is assembled by vertical stacking, not accumulation).
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != self.cols()` or if `out.len()` is not
+    /// `self.rows() * x.cols()`.
+    pub fn lmm_into(&self, x: &DenseMatrix, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.rows() * x.cols(),
+            "lmm_into: out has {} slots for a {} x {} result",
+            out.len(),
+            self.rows(),
+            x.cols()
+        );
+        if self.transposed {
+            out.copy_from_slice(self.lmm(x).as_slice());
+            return;
+        }
+        assert_eq!(
+            x.rows(),
+            self.cols(),
+            "lmm: X has {} rows for a {}x{} normalized matrix",
+            x.rows(),
+            self.rows(),
+            self.cols()
+        );
+        self.lmm_accumulate(x, out);
+    }
+
     pub(crate) fn lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
+        self.lmm_accumulate(x, acc.as_mut_slice());
+        acc
+    }
+
+    /// The LMM rewrite into a zeroed-by-us output slice. The good order:
+    /// Bᵢ Xᵢ first (small), then the indicator as a fused gather-add — no
+    /// intermediate n x m matrix. The per-part products are independent
+    /// and run in parallel; the gather-adds stay in part order so the
+    /// accumulation is deterministic.
+    fn lmm_accumulate(&self, x: &DenseMatrix, out: &mut [f64]) {
         let offsets = self.col_offsets();
-        // The good order: Bᵢ Xᵢ first (small), then the indicator as a
-        // fused gather-add — no intermediate n x m matrix. The per-part
-        // products are independent and run in parallel; the gather-adds
-        // stay in part order so the accumulation is deterministic.
         let partials = Runtime::executor().map(self.parts.len(), |i| {
             let w = &offsets[i..=i + 1];
             let xi = x.slice_rows(w[0]..w[1]);
             self.parts[i].table.matmul_dense(&xi)
         });
-        let mut acc = DenseMatrix::zeros(self.n_rows, x.cols());
+        out.fill(0.0);
         for (p, partial) in self.parts.iter().zip(&partials) {
-            p.indicator.apply_add_into(partial, &mut acc);
+            p.indicator.apply_add_into(partial, out, self.n_rows);
         }
-        acc
     }
 
     pub(crate) fn t_lmm_raw(&self, x: &DenseMatrix) -> DenseMatrix {

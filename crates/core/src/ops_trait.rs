@@ -31,6 +31,21 @@ pub trait LinearOperand {
     /// Left matrix multiplication `T X`.
     fn lmm(&self, x: &DenseMatrix) -> DenseMatrix;
 
+    /// Left matrix multiplication `T X` written into a caller-provided
+    /// row-major buffer of `nrows() * x.cols()` slots, so a scoring hot
+    /// path can reuse one allocation across calls. Every implementation
+    /// is bit-identical to its [`LinearOperand::lmm`]: the default
+    /// delegates to `lmm` and copies; representations with a native
+    /// into-kernel (the normalized rewrite's accumulator) override it to
+    /// skip the output allocation.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.nrows() * x.cols()`.
+    fn lmm_into(&self, x: &DenseMatrix, out: &mut [f64]) {
+        let r = self.lmm(x);
+        out.copy_from_slice(r.as_slice());
+    }
+
     /// Transposed left multiplication `Tᵀ X` (no transpose materialized).
     fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix;
 
@@ -140,6 +155,10 @@ impl LinearOperand for crate::NormalizedMatrix {
 
     fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
         crate::NormalizedMatrix::lmm(self, x)
+    }
+
+    fn lmm_into(&self, x: &DenseMatrix, out: &mut [f64]) {
+        crate::NormalizedMatrix::lmm_into(self, x, out)
     }
 
     fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {

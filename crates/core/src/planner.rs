@@ -669,6 +669,22 @@ impl LinearOperand for PlannedMatrix {
         )
     }
 
+    fn lmm_into(&self, x: &DenseMatrix, out: &mut [f64]) {
+        // Not expressible through `run` (both routes need the one `out`
+        // borrow), so the routing is inlined: same op kind, same decision,
+        // same memo — bit-identical to `lmm` on either verdict.
+        match &self.repr {
+            Repr::Materialized(m) => out.copy_from_slice(m.matmul_dense(x).as_slice()),
+            Repr::Factorized(t) => {
+                if self.decide(t, OpKind::Lmm { m: x.cols() }) {
+                    t.lmm_into(x, out);
+                } else {
+                    out.copy_from_slice(self.memo_ref(t).matmul_dense(x).as_slice());
+                }
+            }
+        }
+    }
+
     fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
         self.run(
             OpKind::TLmm { m: x.cols() },

@@ -69,6 +69,15 @@ pub(crate) mod test_data {
         pub w_true: DenseMatrix,
     }
 
+    impl Fixture {
+        /// A scoring micro-batch: the factorized row slice for `rows`
+        /// (duplicates and arbitrary order allowed) plus the matching
+        /// materialized rows as ground truth.
+        pub fn batch(&self, rows: &[usize]) -> (NormalizedMatrix, Matrix) {
+            (self.tn.select_rows(rows), self.t.gather_rows(rows))
+        }
+    }
+
     /// `n_s x (d_s + d_r)` PK-FK data with labels from a planted model.
     pub fn pkfk(n_s: usize, d_s: usize, n_r: usize, d_r: usize, seed: u64) -> Fixture {
         let mut rng = stream(seed);

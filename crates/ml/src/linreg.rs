@@ -175,6 +175,25 @@ impl LinearRegressionCofactor {
     }
 }
 
+/// Predicted responses `T w` for weights fitted by any of the linear
+/// trainers in this module.
+pub fn predict<M: LinearOperand>(t: &M, w: &DenseMatrix) -> DenseMatrix {
+    t.lmm(w)
+}
+
+/// Like [`predict`], but written into a caller-provided buffer of
+/// `t.nrows()` slots — the serving hot path reuses one allocation across
+/// micro-batches instead of allocating per call. Bit-identical to
+/// [`predict`] for every [`LinearOperand`] (the contract of
+/// [`LinearOperand::lmm_into`]).
+///
+/// # Panics
+/// Panics if `w` is not `d x 1` or `out.len() != t.nrows()`.
+pub fn predict_into<M: LinearOperand>(t: &M, w: &DenseMatrix, out: &mut [f64]) {
+    assert_eq!(w.cols(), 1, "predict_into: w must be d x 1");
+    t.lmm_into(w, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +305,55 @@ mod tests {
             w_gd.approx_eq(&w_ne, 1e-2),
             "GD did not converge towards the NE solution"
         );
+    }
+
+    #[test]
+    fn predict_into_is_bit_identical_to_predict() {
+        let fx = pkfk(50, 3, 8, 4, 13);
+        let w = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        // All three data representations: normalized, materialized, planned.
+        let planned = crate::test_data::planned(&fx.tn);
+        let n = fx.t.rows();
+        let mut buf = vec![f64::NAN; n];
+        for (alloc, run) in [
+            (predict(&fx.tn, &w), {
+                predict_into(&fx.tn, &w, &mut buf);
+                buf.clone()
+            }),
+            (predict(&fx.t, &w), {
+                predict_into(&fx.t, &w, &mut buf);
+                buf.clone()
+            }),
+            (predict(&planned, &w), {
+                predict_into(&planned, &w, &mut buf);
+                buf.clone()
+            }),
+        ] {
+            for (a, b) in alloc.as_slice().iter().zip(&run) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_slice_predictions_match_full_scoring() {
+        // Scoring a factorized micro-batch slice must reproduce, bit for
+        // bit, the corresponding entries of a full-table scoring pass —
+        // the invariant the serving layer's coalescing relies on.
+        let fx = pkfk(50, 3, 8, 4, 13);
+        let w = LinearRegressionNe::new().fit(&fx.tn, &fx.y);
+        let full = predict(&fx.tn, &w);
+        let rows = [3usize, 0, 3, 47, 11];
+        let (slice, truth) = fx.batch(&rows);
+        let mut buf = vec![0.0; rows.len()];
+        predict_into(&slice, &w, &mut buf);
+        for (j, &r) in rows.iter().enumerate() {
+            assert_eq!(buf[j].to_bits(), full.get(r, 0).to_bits());
+        }
+        // And the slice agrees with its materialized ground truth.
+        let direct = predict(&truth, &w);
+        for (a, b) in buf.iter().zip(direct.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 }

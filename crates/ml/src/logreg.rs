@@ -135,6 +135,35 @@ pub fn predict_proba<M: LinearOperand>(t: &M, w: &DenseMatrix) -> DenseMatrix {
     t.lmm(w).sigmoid()
 }
 
+/// Like [`predict_proba`], but written into a caller-provided buffer of
+/// `t.nrows()` slots so a scoring hot path can reuse one allocation per
+/// batch. Bit-identical to [`predict_proba`]: the margin comes from
+/// [`LinearOperand::lmm_into`] (itself bit-identical to `lmm`) and the
+/// sigmoid below is the same expression `DenseMatrix::sigmoid` applies.
+///
+/// # Panics
+/// Panics if `w` is not `d x 1` or `out.len() != t.nrows()`.
+pub fn predict_proba_into<M: LinearOperand>(t: &M, w: &DenseMatrix, out: &mut [f64]) {
+    assert_eq!(w.cols(), 1, "predict_proba_into: w must be d x 1");
+    t.lmm_into(w, out);
+    for v in out.iter_mut() {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
+impl LogisticModel {
+    /// Class probabilities `σ(T w)` on new data.
+    pub fn predict_proba<M: LinearOperand>(&self, t: &M) -> DenseMatrix {
+        predict_proba(t, &self.w)
+    }
+
+    /// Allocation-free variant of [`LogisticModel::predict_proba`]; see
+    /// [`predict_proba_into`].
+    pub fn predict_proba_into<M: LinearOperand>(&self, t: &M, out: &mut [f64]) {
+        predict_proba_into(t, &self.w, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +257,34 @@ mod tests {
     fn wrong_label_shape_panics() {
         let fx = pkfk(10, 2, 2, 2, 1);
         LogisticRegressionGd::default().fit(&fx.tn, &DenseMatrix::zeros(3, 1));
+    }
+
+    #[test]
+    fn predict_proba_into_is_bit_identical_to_predict_proba() {
+        let fx = pkfk(40, 3, 6, 3, 19);
+        let y = binarize(&fx.y);
+        let model = LogisticRegressionGd::new(1e-2, 10).fit(&fx.tn, &y);
+        let planned = crate::test_data::planned(&fx.tn);
+        let mut buf = vec![f64::NAN; fx.t.rows()];
+        let check = |alloc: DenseMatrix, run: &[f64]| {
+            for (a, b) in alloc.as_slice().iter().zip(run) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        };
+        model.predict_proba_into(&fx.tn, &mut buf);
+        check(model.predict_proba(&fx.tn), &buf);
+        model.predict_proba_into(&fx.t, &mut buf);
+        check(model.predict_proba(&fx.t), &buf);
+        model.predict_proba_into(&planned, &mut buf);
+        check(model.predict_proba(&planned), &buf);
+        // Micro-batch slices reproduce the full pass bit for bit.
+        let rows = [7usize, 7, 0, 33];
+        let (slice, _) = fx.batch(&rows);
+        let mut small = vec![0.0; rows.len()];
+        model.predict_proba_into(&slice, &mut small);
+        let full = model.predict_proba(&fx.tn);
+        for (j, &r) in rows.iter().enumerate() {
+            assert_eq!(small[j].to_bits(), full.get(r, 0).to_bits());
+        }
     }
 }

@@ -98,18 +98,23 @@ impl OrionLogisticRegression {
 mod tests {
     use super::*;
     use crate::logreg::LogisticRegressionGd;
-    use crate::test_data::pkfk;
+    use crate::test_data::{pkfk, Fixture};
+
+    /// Recovers the base tables `(S, fk, R)` from the fixture's
+    /// normalized matrix via the centralized assignment extraction.
+    fn base_tables(fx: &Fixture) -> (DenseMatrix, Vec<usize>, DenseMatrix) {
+        let parts = fx.tn.parts();
+        let s = parts[0].table().to_dense();
+        let r = parts[1].table().to_dense();
+        let fk = parts[1].indicator().assignment(parts[1].table().rows());
+        (s, fk, r)
+    }
 
     #[test]
     fn orion_matches_morpheus_factorized_logreg() {
         let fx = pkfk(50, 3, 6, 4, 53);
         let y = fx.y.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
-        // Recover the base tables from the fixture's normalized matrix.
-        let parts = fx.tn.parts();
-        let s = parts[0].table().to_dense();
-        let r = parts[1].table().to_dense();
-        let k = parts[1].indicator().as_rows().unwrap();
-        let fk: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+        let (s, fk, r) = base_tables(&fx);
 
         let orion = OrionLogisticRegression::new(1e-2, 12).fit(&s, &fk, &r, &y);
         let morpheus = LogisticRegressionGd::new(1e-2, 12).fit(&fx.tn, &y);
@@ -123,11 +128,7 @@ mod tests {
     fn orion_matches_materialized_logreg() {
         let fx = pkfk(30, 2, 4, 2, 59);
         let y = fx.y.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
-        let parts = fx.tn.parts();
-        let s = parts[0].table().to_dense();
-        let r = parts[1].table().to_dense();
-        let k = parts[1].indicator().as_rows().unwrap();
-        let fk: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+        let (s, fk, r) = base_tables(&fx);
 
         let orion = OrionLogisticRegression::new(5e-3, 8).fit(&s, &fk, &r, &y);
         let mat = LogisticRegressionGd::new(5e-3, 8).fit(&fx.t, &y);
@@ -138,11 +139,7 @@ mod tests {
     fn learns_signal() {
         let fx = pkfk(120, 4, 6, 2, 61);
         let y = fx.y.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
-        let parts = fx.tn.parts();
-        let s = parts[0].table().to_dense();
-        let r = parts[1].table().to_dense();
-        let k = parts[1].indicator().as_rows().unwrap();
-        let fk: Vec<usize> = (0..k.rows()).map(|i| k.row(i).0[0]).collect();
+        let (s, fk, r) = base_tables(&fx);
         let w = OrionLogisticRegression::new(1e-2, 200).fit(&s, &fk, &r, &y);
         let proba = crate::logreg::predict_proba(&fx.t, &w);
         assert!(crate::metrics::accuracy(&proba, &y) > 0.9);

@@ -387,6 +387,7 @@ static LOCK_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 static CALIBRATION_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static PROFILE_WRITE_FAILURES: AtomicU64 = AtomicU64::new(0);
 static SIMD_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static SERVE_BATCH_ABORTS: AtomicU64 = AtomicU64::new(0);
 
 /// A self-healing or fallback event somewhere in the workspace, recorded
 /// via [`note`]. Rung names match the degradation ladder documented in
@@ -415,6 +416,10 @@ pub enum Degradation {
     /// The SIMD feature probe reported unavailable; kernels run on the
     /// scalar tier.
     SimdFallback,
+    /// A scoring-service batch evaluation panicked; every request in the
+    /// batch received a structured error (never a partial or corrupted
+    /// response) and the scorer kept serving.
+    ServeBatchAbort,
 }
 
 /// Records a degradation event (called by the layers as they fall back).
@@ -428,6 +433,7 @@ pub fn note(d: Degradation) {
         Degradation::CalibrationTimeout => &CALIBRATION_TIMEOUTS,
         Degradation::ProfileWriteFailure => &PROFILE_WRITE_FAILURES,
         Degradation::SimdFallback => &SIMD_FALLBACKS,
+        Degradation::ServeBatchAbort => &SERVE_BATCH_ABORTS,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -455,6 +461,9 @@ pub struct FaultStats {
     pub profile_write_failures: u64,
     /// SIMD probes that reported unavailable (scalar-tier execution).
     pub simd_fallbacks: u64,
+    /// Scoring-service batches aborted by a panic and converted into
+    /// structured per-request errors.
+    pub serve_batch_aborts: u64,
 }
 
 /// Reads the process-wide fault/degradation counters.
@@ -469,6 +478,7 @@ pub fn stats() -> FaultStats {
         calibration_timeouts: CALIBRATION_TIMEOUTS.load(Ordering::Relaxed),
         profile_write_failures: PROFILE_WRITE_FAILURES.load(Ordering::Relaxed),
         simd_fallbacks: SIMD_FALLBACKS.load(Ordering::Relaxed),
+        serve_batch_aborts: SERVE_BATCH_ABORTS.load(Ordering::Relaxed),
     }
 }
 
@@ -484,6 +494,7 @@ pub fn reset_stats() {
         &CALIBRATION_TIMEOUTS,
         &PROFILE_WRITE_FAILURES,
         &SIMD_FALLBACKS,
+        &SERVE_BATCH_ABORTS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

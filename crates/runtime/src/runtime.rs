@@ -80,6 +80,21 @@ impl Runtime {
         Executor::new(Self::available())
     }
 
+    /// Runs `f` with this thread's pool claim multiplied by `parties`, so
+    /// `parties` concurrent subsystem threads (e.g. the scoring service's
+    /// resident batch scorers) share the one worker pool instead of each
+    /// dispatching as if it owned the whole budget. Inside `f`,
+    /// [`Runtime::available`] reports `threads / (claim * parties)`
+    /// (floored at 1) and every kernel's default executor sizes itself
+    /// accordingly; the previous claim is restored when `f` returns, also
+    /// on panic. `parties <= 1` is a plain call.
+    pub fn with_pool_share<R>(parties: usize, f: impl FnOnce() -> R) -> R {
+        if parties <= 1 {
+            return f();
+        }
+        claim::scoped(claim::current().saturating_mul(parties), f)
+    }
+
     /// Whether a kernel with `work` flops (or equivalent fused operations)
     /// is worth dispatching onto the pool, per the process-wide threshold:
     /// `MORPHEUS_PAR_THRESHOLD` if set to an integer (clamped to >= 1, read
@@ -207,5 +222,21 @@ mod tests {
             Executor::new(4).map(9, |i| i + 1),
             (0..9).map(|i| i + 1).collect::<Vec<_>>()
         );
+
+        // with_pool_share divides the visible budget among parties and
+        // restores the claim afterwards, including across a panic.
+        Runtime::set_threads(8);
+        let seen = Runtime::with_pool_share(4, Runtime::available);
+        assert_eq!(seen, 2);
+        assert_eq!(Runtime::with_pool_share(1, Runtime::available), 8);
+        assert_eq!(
+            Runtime::with_pool_share(100, Runtime::available),
+            1,
+            "oversharing floors at one worker"
+        );
+        let _ = std::panic::catch_unwind(|| {
+            Runtime::with_pool_share(4, || panic!("boom"));
+        });
+        assert_eq!(Runtime::available(), 8, "claim restored after panic");
     }
 }

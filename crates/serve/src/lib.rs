@@ -1,0 +1,46 @@
+//! Micro-batched concurrent model scoring over the factorized
+//! representation.
+//!
+//! Training over normalized data is the paper's story; this crate is the
+//! deployment end of it: a [`ScoringService`] loads a fitted model
+//! (linear or logistic, see [`ScoringModel`]) plus its normalized schema
+//! **once**, then serves concurrent scoring requests — each a set of
+//! entity row ids — without ever materializing the join per request.
+//!
+//! The performance core is a **micro-batcher**: requests arriving within
+//! a latency budget (`MORPHEUS_BATCH_WINDOW_US`) are coalesced, up to
+//! `MORPHEUS_BATCH_MAX` rows, into a single row slice of the factorized
+//! representation ([`morpheus_core::NormalizedMatrix::select_rows`]) and
+//! scored with one evaluation over the shared calibrated machine
+//! profile and resident worker pool. Because every scoring kernel is
+//! row-independent, a coalesced request's answers are **bit-identical**
+//! to scoring it alone — batching is invisible to clients except in
+//! latency and throughput.
+//!
+//! Operational behavior:
+//!
+//! * **Admission control** — a bounded queue (`MORPHEUS_BATCH_QUEUE`);
+//!   submissions beyond it are shed with [`ServeError::Shed`] and
+//!   counted, so overload degrades loudly instead of growing latency
+//!   without bound.
+//! * **Fairness** — coalescing is strictly FIFO; the first queued
+//!   request that does not fit closes the batch, so no request is
+//!   starved by smaller ones arriving behind it.
+//! * **Self-healing** — a panic inside a batch (injectable via the
+//!   `serve.batch` failpoint) is caught, converted into
+//!   [`ServeError::BatchAborted`] for exactly that batch's requests,
+//!   counted as a degradation, and the scorer keeps serving.
+//! * **Observability** — [`ScoringService::stats`] folds the serve
+//!   counters together with [`morpheus_runtime::faults::stats`] and
+//!   [`morpheus_lang::plan_cache_stats`] into one [`ServeStats`]
+//!   snapshot.
+
+mod config;
+mod model;
+mod service;
+mod stats;
+
+pub use config::{ServeConfig, BATCH_MAX_ENV, BATCH_QUEUE_ENV, BATCH_WINDOW_ENV};
+pub use model::ScoringModel;
+pub use service::{ScoringService, ServeError, ServeMode, Ticket, BATCH_FAILPOINT};
+pub use stats::ServeStats;

@@ -44,6 +44,7 @@ pub use morpheus_lang as lang;
 pub use morpheus_linalg as linalg;
 pub use morpheus_ml as ml;
 pub use morpheus_runtime as runtime;
+pub use morpheus_serve as serve;
 pub use morpheus_sparse as sparse;
 
 /// Convenient single-line import of the most commonly used types.
@@ -90,5 +91,6 @@ pub mod prelude {
         logreg::LogisticRegressionGd,
     };
     pub use morpheus_runtime::{Executor, Runtime};
+    pub use morpheus_serve::{ScoringModel, ScoringService, ServeConfig};
     pub use morpheus_sparse::CsrMatrix;
 }
