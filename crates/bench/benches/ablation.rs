@@ -5,7 +5,7 @@
 //! cross-product.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use morpheus_chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus_chunked::{ChunkedMatrix, ChunkedNormalizedMatrix};
 use morpheus_core::cost::{estimate_dmm, estimate_op, OpKind};
 use morpheus_core::{MachineProfile, Matrix, NormalizedMatrix};
 use morpheus_data::synth::PkFkSpec;
@@ -34,9 +34,8 @@ fn benches(c: &mut Criterion) {
     // Chunked backend overhead: same logistic-regression step, in-memory vs
     // chunked, factorized vs materialized.
     let trainer = LogisticRegressionGd::new(1e-3, 1);
-    let ex = Executor::new(1);
-    let cf = ChunkedNormalizedMatrix::from_normalized(&tn, 512, ex);
-    let cm = ChunkedMatrix::from_matrix(&tn.materialize(), 512, ex);
+    let cf = ChunkedNormalizedMatrix::new(&tn, 512);
+    let cm = ChunkedMatrix::new(&tn.materialize(), 512);
     g.bench_function("chunked/logreg-step/F", |b| {
         b.iter(|| {
             let mut w = DenseMatrix::zeros(cf.ncols(), 1);

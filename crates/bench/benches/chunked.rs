@@ -1,0 +1,87 @@
+//! Criterion benches for the out-of-core chunked backend: resident vs
+//! spilled evaluation of the dominant operators, the spill round-trip
+//! itself, and the planner-routed streaming step. Recorded by the
+//! criterion shim into `target/bench-baselines.json` and gated in CI
+//! against `crates/bench/baselines.json`.
+//!
+//! Bench ids are fixed (no thread counts or byte sizes in the names) so
+//! the baseline keys stay machine-stable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus_chunked::{ChunkedMatrix, PlannedChunkedMatrix, SpillFile};
+use morpheus_core::cost::ChunkedCostCtx;
+use morpheus_core::{LinearOperand, Strategy};
+use morpheus_data::synth::PkFkSpec;
+use morpheus_dense::DenseMatrix;
+use morpheus_ml::logreg::LogisticRegressionGd;
+use std::hint::black_box;
+
+const CHUNK: usize = 512;
+
+fn ctx(budget: f64) -> ChunkedCostCtx {
+    ChunkedCostCtx {
+        chunk_rows: CHUNK,
+        resident_budget_bytes: budget,
+        spill_read_ns_per_byte: 0.5,
+        spill_write_ns_per_byte: 1.0,
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let ds = PkFkSpec::from_ratios(10.0, 2.0, 400, 16, 7).generate();
+    let tm = ds.tn.materialize();
+    let labels = ds.labels();
+    let x = DenseMatrix::from_fn(tm.cols(), 8, |i, j| ((i * 3 + j) % 7) as f64 * 0.5 - 1.5);
+
+    let mut g = c.benchmark_group("chunked");
+
+    // Resident vs spilled: the same chunking, budgets MAX and 0, so the
+    // delta is exactly the spill fault-in cost minus what the
+    // double-buffered prefetch hides behind compute.
+    let resident = ChunkedMatrix::with_budget(&tm, CHUNK, u64::MAX);
+    let spilled = ChunkedMatrix::with_budget(&tm, CHUNK, 0);
+    assert!(spilled.n_spilled() > 0, "bench fixture must spill");
+    g.bench_function("lmm/resident", |b| b.iter(|| black_box(resident.lmm(&x))));
+    g.bench_function("lmm/spilled", |b| b.iter(|| black_box(spilled.lmm(&x))));
+    g.bench_function("crossprod/resident", |b| {
+        b.iter(|| black_box(LinearOperand::crossprod(&resident)))
+    });
+    g.bench_function("crossprod/spilled", |b| {
+        b.iter(|| black_box(LinearOperand::crossprod(&spilled)))
+    });
+
+    // The raw spill round-trip: write + mmap, then fault the chunk back.
+    let chunk_mat = DenseMatrix::from_fn(CHUNK, tm.cols(), |i, j| (i * 31 + j) as f64 * 0.01);
+    g.bench_function("spill/write", |b| {
+        b.iter(|| black_box(SpillFile::write(&chunk_mat).expect("spill dir writable")))
+    });
+    let file = SpillFile::write(&chunk_mat).expect("spill dir writable");
+    g.bench_function("spill/load", |b| b.iter(|| black_box(file.load())));
+
+    // Planner-routed streaming step over spilled chunks, both arms: the
+    // cost of routing + streaming on top of the bare chunked step.
+    let trainer = LogisticRegressionGd::new(1e-3, 1);
+    for (tag, strategy) in [
+        ("F", Strategy::AlwaysFactorize),
+        ("M", Strategy::AlwaysMaterialize),
+    ] {
+        let planned = PlannedChunkedMatrix::with_strategy(ds.tn.clone(), CHUNK, strategy)
+            .with_cost_ctx(ctx(0.0));
+        planned.materialize(); // fill the memo outside the timing loop
+        g.bench_function(format!("planned-step/{tag}"), |b| {
+            b.iter(|| {
+                let mut w = DenseMatrix::zeros(planned.ncols(), 1);
+                trainer.step(&planned, &labels, &mut w);
+                black_box(w)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = chunked;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(chunked);

@@ -36,6 +36,7 @@ const ALL: &[&str] = &[
     "table8",
     "table9",
     "table10",
+    "out-of-core",
     "table12",
     "ablation-crossprod",
     "ablation-order",
@@ -120,6 +121,17 @@ fn run(name: &str, quick: bool) -> bool {
         }
         "table10" => {
             ore::table10(quick);
+            true
+        }
+        "out-of-core" => {
+            ore::out_of_core(quick);
+            true
+        }
+        // The whole chunked-backend suite under one name.
+        "ore" => {
+            ore::table9(quick);
+            ore::table10(quick);
+            ore::out_of_core(quick);
             true
         }
         "table12" => {

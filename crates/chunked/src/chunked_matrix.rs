@@ -1,44 +1,174 @@
 //! [`ChunkedMatrix`]: a regular matrix stored as row chunks, with every
-//! operator evaluated chunk-at-a-time in parallel.
+//! operator evaluated chunk-at-a-time — in parallel across resident
+//! chunks, or streamed with double-buffered prefetch once chunks spill
+//! to memory-mapped files.
+//!
+//! Chunks are resident until the process-wide budget
+//! (`MORPHEUS_CHUNK_BYTES`, see [`crate::spill`]) is exhausted; dense
+//! chunks beyond it spill to mmap-backed files and fault in on access.
+//! Spilling and prefetch are pure execution details: every operator
+//! result is bit-identical to the fully-resident (in-memory) evaluation
+//! at any worker count, because chunk results are always combined in
+//! chunk-index order and the underlying kernels are themselves
+//! worker-count-invariant.
 
+use crate::spill::{self, SpillFile};
 use crate::{Executor, LinearOperand};
-use morpheus_core::Matrix;
+use morpheus_core::{Matrix, NormalizedMatrix};
 use morpheus_dense::DenseMatrix;
 use morpheus_linalg::ginv_sym_psd;
+use morpheus_runtime::Runtime;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// One row chunk: resident in memory, or spilled to an mmap-backed file.
+#[derive(Debug, Clone)]
+enum ChunkStore {
+    Resident(Matrix),
+    Spilled(Arc<SpillFile>),
+}
+
+impl ChunkStore {
+    fn rows(&self) -> usize {
+        match self {
+            ChunkStore::Resident(m) => m.rows(),
+            ChunkStore::Spilled(f) => f.rows(),
+        }
+    }
+
+    /// The chunk's values; for spilled chunks the copy out of the map is
+    /// the fault-in.
+    fn load(&self) -> Cow<'_, Matrix> {
+        match self {
+            ChunkStore::Resident(m) => Cow::Borrowed(m),
+            ChunkStore::Spilled(f) => Cow::Owned(Matrix::Dense(f.load())),
+        }
+    }
+
+    /// Approximate resident bytes if this chunk were kept in memory.
+    fn bytes(m: &Matrix) -> u64 {
+        if m.is_sparse() {
+            // CSR: value + column index per entry, plus row pointers.
+            (m.nnz() * 16 + (m.rows() + 1) * 8) as u64
+        } else {
+            (m.rows() * m.cols() * 8) as u64
+        }
+    }
+}
 
 /// A regular (materialized) matrix partitioned into row chunks — the "M"
-/// side of the ORE experiments.
+/// side of the ORE experiments, and the memoized join representation of
+/// the chunked planner route.
 #[derive(Debug, Clone)]
 pub struct ChunkedMatrix {
-    chunks: Vec<Matrix>,
+    chunks: Vec<ChunkStore>,
     rows: usize,
     cols: usize,
-    executor: Executor,
+    /// Resident-byte budget chunks were admitted under; propagated to
+    /// derived matrices (`scale`, `squared`).
+    budget: u64,
+    /// `None` resolves [`Runtime::executor`] at each operator call, so
+    /// chunk-level parallelism always sees the *remaining* thread budget
+    /// of enclosing parallel sections.
+    executor: Option<Executor>,
 }
 
 impl ChunkedMatrix {
-    /// Partitions `m` into row chunks of at most `chunk_rows` rows.
+    /// Partitions `m` into row chunks of at most `chunk_rows` rows,
+    /// spilling beyond the `MORPHEUS_CHUNK_BYTES` resident budget, with
+    /// chunk-level parallelism drawn from the shared [`Runtime`] thread
+    /// budget.
     ///
     /// # Panics
     /// Panics if `chunk_rows == 0`.
-    pub fn from_matrix(m: &Matrix, chunk_rows: usize, executor: Executor) -> Self {
+    pub fn new(m: &Matrix, chunk_rows: usize) -> Self {
+        Self::with_budget(m, chunk_rows, spill::resident_budget_bytes())
+    }
+
+    /// [`ChunkedMatrix::new`] with an explicit resident budget in bytes
+    /// instead of the environment default. `u64::MAX` never spills.
+    pub fn with_budget(m: &Matrix, chunk_rows: usize, resident_budget_bytes: u64) -> Self {
+        Self::build(m, chunk_rows, resident_budget_bytes, None)
+    }
+
+    /// Builds the chunked join of a normalized matrix **without ever
+    /// materializing the whole table**: each row band is materialized on
+    /// its own and spilled (budget permitting) before the next band is
+    /// built, so peak memory stays near one chunk once the resident
+    /// budget is exhausted. Values are identical to
+    /// `ChunkedMatrix::new(&t.materialize(), chunk_rows)`.
+    pub fn from_normalized(t: &NormalizedMatrix, chunk_rows: usize) -> Self {
+        Self::from_normalized_with_budget(t, chunk_rows, spill::resident_budget_bytes())
+    }
+
+    /// [`ChunkedMatrix::from_normalized`] with an explicit resident
+    /// budget in bytes.
+    pub fn from_normalized_with_budget(
+        t: &NormalizedMatrix,
+        chunk_rows: usize,
+        resident_budget_bytes: u64,
+    ) -> Self {
         assert!(chunk_rows > 0, "ChunkedMatrix: chunk_rows must be positive");
-        let rows = m.rows();
-        let cols = m.cols();
+        let rows = t.rows();
+        let cols = t.cols();
+        let mut admit = Admission::new(resident_budget_bytes);
         let mut chunks = Vec::with_capacity(rows.div_ceil(chunk_rows).max(1));
         let mut start = 0;
         while start < rows {
             let end = (start + chunk_rows).min(rows);
-            chunks.push(m.slice_rows(start..end));
+            let band: Vec<usize> = (start..end).collect();
+            chunks.push(admit.store(t.select_rows(&band).materialize()));
             start = end;
         }
         if chunks.is_empty() {
-            chunks.push(m.slice_rows(0..0));
+            chunks.push(ChunkStore::Resident(t.materialize().slice_rows(0..0)));
         }
         Self {
             chunks,
             rows,
             cols,
+            budget: resident_budget_bytes,
+            executor: None,
+        }
+    }
+
+    /// Partitions `m` into row chunks evaluated on a caller-built
+    /// executor.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows == 0`.
+    #[deprecated(note = "use ChunkedMatrix::new: a raw executor bypasses the Runtime \
+                thread-budget claims, so chunk- and kernel-level parallelism \
+                can oversubscribe the pool")]
+    pub fn from_matrix(m: &Matrix, chunk_rows: usize, executor: Executor) -> Self {
+        Self::build(
+            m,
+            chunk_rows,
+            spill::resident_budget_bytes(),
+            Some(executor),
+        )
+    }
+
+    fn build(m: &Matrix, chunk_rows: usize, budget: u64, executor: Option<Executor>) -> Self {
+        assert!(chunk_rows > 0, "ChunkedMatrix: chunk_rows must be positive");
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut admit = Admission::new(budget);
+        let mut chunks = Vec::with_capacity(rows.div_ceil(chunk_rows).max(1));
+        let mut start = 0;
+        while start < rows {
+            let end = (start + chunk_rows).min(rows);
+            chunks.push(admit.store(m.slice_rows(start..end)));
+            start = end;
+        }
+        if chunks.is_empty() {
+            chunks.push(ChunkStore::Resident(m.slice_rows(0..0)));
+        }
+        Self {
+            chunks,
+            rows,
+            cols,
+            budget,
             executor,
         }
     }
@@ -48,9 +178,19 @@ impl ChunkedMatrix {
         self.chunks.len()
     }
 
-    /// The executor used for chunk-parallel evaluation.
+    /// Number of chunks currently backed by spill files.
+    pub fn n_spilled(&self) -> usize {
+        self.chunks
+            .iter()
+            .filter(|c| matches!(c, ChunkStore::Spilled(_)))
+            .count()
+    }
+
+    /// The executor used for chunk-parallel evaluation — the shared
+    /// [`Runtime`] budget unless a raw executor was pinned at
+    /// construction.
     pub fn executor(&self) -> Executor {
-        self.executor
+        self.executor.unwrap_or_else(Runtime::executor)
     }
 
     fn chunk_row_offsets(&self) -> Vec<usize> {
@@ -62,6 +202,84 @@ impl ChunkedMatrix {
             offs.push(acc);
         }
         offs
+    }
+
+    /// Applies `f` to every chunk and returns the results **in chunk
+    /// order** — the one combination order both evaluation modes share.
+    /// All-resident matrices fan the chunks out across the executor;
+    /// once any chunk is spilled the walk turns into a stream with
+    /// double-buffered prefetch: while chunk `i` computes on one
+    /// [`Executor::par_join`] stride, chunk `i+1` faults in on the
+    /// other, so at most two chunks are resident and the spill I/O
+    /// overlaps the compute. Inner kernels see the remaining thread
+    /// budget either way — the two parallelism levels compose without
+    /// oversubscription.
+    fn map_chunks<R: Send>(&self, f: impl Fn(&Matrix, usize) -> R + Sync + Send) -> Vec<R> {
+        let n = self.chunks.len();
+        let ex = self.executor();
+        if self.n_spilled() == 0 {
+            return ex.map(n, |i| match &self.chunks[i] {
+                ChunkStore::Resident(m) => f(m, i),
+                ChunkStore::Spilled(s) => f(&Matrix::Dense(s.load()), i),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut cur = self.chunks[0].load();
+        for i in 0..n {
+            let (r, next) = ex.par_join(
+                || f(&cur, i),
+                || (i + 1 < n).then(|| self.chunks[i + 1].load()),
+            );
+            out.push(r);
+            if let Some(nx) = next {
+                cur = nx;
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a derived matrix from per-chunk results, re-admitting
+    /// them under the same resident budget.
+    fn derive(&self, chunks: Vec<Matrix>) -> Self {
+        let mut admit = Admission::new(self.budget);
+        Self {
+            chunks: chunks.into_iter().map(|c| admit.store(c)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+            budget: self.budget,
+            executor: self.executor,
+        }
+    }
+}
+
+/// Budgeted chunk admission: chunks are resident while the running
+/// resident-byte total fits, and spill once it would not. Sparse chunks
+/// and chunks that fail to spill (I/O error, injected fault, non-Unix
+/// target) stay resident — counted as a [`spill::try_spill`] degradation
+/// where an actual failure occurred, never a correctness hazard.
+struct Admission {
+    budget: u64,
+    resident: u64,
+}
+
+impl Admission {
+    fn new(budget: u64) -> Self {
+        Admission {
+            budget,
+            resident: 0,
+        }
+    }
+
+    fn store(&mut self, m: Matrix) -> ChunkStore {
+        let bytes = ChunkStore::bytes(&m);
+        let fits = self.resident.saturating_add(bytes) <= self.budget;
+        if !fits && m.rows() * m.cols() > 0 {
+            if let Some(f) = m.as_dense().and_then(spill::try_spill) {
+                return ChunkStore::Spilled(Arc::new(f));
+            }
+        }
+        self.resident += bytes;
+        ChunkStore::Resident(m)
     }
 }
 
@@ -76,19 +294,17 @@ impl LinearOperand for ChunkedMatrix {
 
     fn lmm(&self, x: &DenseMatrix) -> DenseMatrix {
         // Each chunk contributes its own output rows: rowapply + stack.
-        let parts = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].matmul_dense(x));
+        let parts = self.map_chunks(|c, _| c.matmul_dense(x));
         let refs: Vec<&DenseMatrix> = parts.iter().collect();
         DenseMatrix::vstack_all(&refs)
     }
 
     fn t_lmm(&self, x: &DenseMatrix) -> DenseMatrix {
-        // Tᵀ X = Σ chunks Cᵢᵀ Xᵢ: rowapply + reduce.
+        // Tᵀ X = Σ chunks Cᵢᵀ Xᵢ: rowapply + chunk-ordered reduce.
         let offsets = self.chunk_row_offsets();
-        let parts = self.executor.map(self.chunks.len(), |i| {
+        let parts = self.map_chunks(|c, i| {
             let xi = x.slice_rows(offsets[i]..offsets[i + 1]);
-            self.chunks[i].t_matmul_dense(&xi)
+            c.t_matmul_dense(&xi)
         });
         let mut acc = DenseMatrix::zeros(self.cols, x.cols());
         for p in parts {
@@ -98,12 +314,12 @@ impl LinearOperand for ChunkedMatrix {
     }
 
     fn rmm(&self, x: &DenseMatrix) -> DenseMatrix {
-        // X T = Σ over chunks of X[:, chunk] Cᵢ columns? No — X T splits X
-        // by columns aligned with T's row chunks: X T = Σᵢ X[:, rowsᵢ] Cᵢ.
+        // X T = Σᵢ X[:, rowsᵢ] Cᵢ: X splits by columns aligned with T's
+        // row chunks.
         let offsets = self.chunk_row_offsets();
-        let parts = self.executor.map(self.chunks.len(), |i| {
+        let parts = self.map_chunks(|c, i| {
             let xi = x.slice_cols(offsets[i]..offsets[i + 1]);
-            self.chunks[i].dense_matmul(&xi)
+            c.dense_matmul(&xi)
         });
         let mut acc = DenseMatrix::zeros(x.rows(), self.cols);
         for p in parts {
@@ -114,9 +330,7 @@ impl LinearOperand for ChunkedMatrix {
 
     fn crossprod(&self) -> DenseMatrix {
         // TᵀT = Σ chunks CᵢᵀCᵢ.
-        let parts = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].crossprod());
+        let parts = self.map_chunks(|c, _| c.crossprod());
         let mut acc = DenseMatrix::zeros(self.cols, self.cols);
         for p in parts {
             acc.add_assign(&p);
@@ -125,17 +339,13 @@ impl LinearOperand for ChunkedMatrix {
     }
 
     fn row_sums(&self) -> DenseMatrix {
-        let parts = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].row_sums());
+        let parts = self.map_chunks(|c, _| c.row_sums());
         let refs: Vec<&DenseMatrix> = parts.iter().collect();
         DenseMatrix::vstack_all(&refs)
     }
 
     fn col_sums(&self) -> DenseMatrix {
-        let parts = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].col_sums());
+        let parts = self.map_chunks(|c, _| c.col_sums());
         let mut acc = DenseMatrix::zeros(1, self.cols);
         for p in parts {
             acc.add_assign(&p);
@@ -144,41 +354,23 @@ impl LinearOperand for ChunkedMatrix {
     }
 
     fn sum(&self) -> f64 {
-        self.executor.map_reduce(
-            self.chunks.len(),
-            |i| self.chunks[i].sum(),
-            0.0,
-            |a, b| a + b,
-        )
+        // Chunk partials folded sequentially in chunk order — the same
+        // grouping at every worker count, unlike a worker-shaped
+        // reduction tree.
+        self.map_chunks(|c, _| c.sum()).into_iter().sum()
     }
 
     fn scale(&self, x: f64) -> Self {
-        let chunks = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].scalar_mul(x));
-        Self {
-            chunks,
-            rows: self.rows,
-            cols: self.cols,
-            executor: self.executor,
-        }
+        self.derive(self.map_chunks(|c, _| c.scalar_mul(x)))
     }
 
     fn squared(&self) -> Self {
-        let chunks = self
-            .executor
-            .map(self.chunks.len(), |i| self.chunks[i].scalar_pow(2.0));
-        Self {
-            chunks,
-            rows: self.rows,
-            cols: self.cols,
-            executor: self.executor,
-        }
+        self.derive(self.map_chunks(|c, _| c.scalar_pow(2.0)))
     }
 
     fn ginv(&self) -> DenseMatrix {
         // Same §3.3.6 identity as everywhere else; both the cross-product
-        // and the closing LMM run chunk-parallel.
+        // and the closing LMM stream chunk-at-a-time.
         let (n, d) = (self.rows, self.cols);
         if d < n {
             let g = ginv_sym_psd(&self.crossprod());
@@ -190,7 +382,7 @@ impl LinearOperand for ChunkedMatrix {
     }
 
     fn materialize(&self) -> Matrix {
-        let denses: Vec<DenseMatrix> = self.chunks.iter().map(|c| c.to_dense()).collect();
+        let denses = self.map_chunks(|c, _| c.to_dense());
         let refs: Vec<&DenseMatrix> = denses.iter().collect();
         Matrix::Dense(DenseMatrix::vstack_all(&refs))
     }
@@ -204,7 +396,7 @@ mod tests {
         let m = Matrix::Dense(DenseMatrix::from_fn(23, 4, |i, j| {
             ((i * 5 + j * 3) % 11) as f64 - 4.0
         }));
-        let c = ChunkedMatrix::from_matrix(&m, 5, Executor::new(3));
+        let c = ChunkedMatrix::new(&m, 5);
         (m, c)
     }
 
@@ -232,6 +424,15 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_raw_executor_path_still_works() {
+        let (m, _) = sample();
+        #[allow(deprecated)]
+        let c = ChunkedMatrix::from_matrix(&m, 5, Executor::new(3));
+        let x = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64 * 0.5);
+        assert!(c.lmm(&x).approx_eq(&m.matmul_dense(&x), 1e-12));
+    }
+
+    #[test]
     fn scalar_closure_ops() {
         let (m, c) = sample();
         assert!(c
@@ -255,10 +456,95 @@ mod tests {
     #[test]
     fn single_chunk_degenerate_case() {
         let m = Matrix::Dense(DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64));
-        let c = ChunkedMatrix::from_matrix(&m, 100, Executor::new(2));
+        let c = ChunkedMatrix::new(&m, 100);
         assert_eq!(c.n_chunks(), 1);
         let x = DenseMatrix::from_fn(2, 1, |i, _| i as f64 + 1.0);
         assert!(c.lmm(&x).approx_eq(&m.matmul_dense(&x), 1e-12));
+    }
+
+    #[test]
+    fn zero_row_matrix_has_one_empty_chunk() {
+        let m = Matrix::Dense(DenseMatrix::zeros(0, 3));
+        let c = ChunkedMatrix::new(&m, 4);
+        assert_eq!(c.n_chunks(), 1);
+        assert_eq!(c.nrows(), 0);
+        assert_eq!(c.n_spilled(), 0);
+        let x = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        assert_eq!(c.lmm(&x).rows(), 0);
+        assert_eq!(LinearOperand::sum(&c), 0.0);
+        assert!(LinearOperand::crossprod(&c).approx_eq(&DenseMatrix::zeros(3, 3), 0.0));
+        assert!(c.materialize().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn chunk_rows_larger_than_matrix() {
+        let m = Matrix::Dense(DenseMatrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64));
+        let c = ChunkedMatrix::new(&m, 1_000_000);
+        assert_eq!(c.n_chunks(), 1);
+        assert!((LinearOperand::sum(&c) - m.sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spilled_execution_is_bit_identical_to_resident() {
+        let m = Matrix::Dense(DenseMatrix::from_fn(57, 6, |i, j| {
+            ((i * 7 + j * 5) % 13) as f64 * 0.37 - 2.0
+        }));
+        let resident = ChunkedMatrix::with_budget(&m, 8, u64::MAX);
+        let spilled = ChunkedMatrix::with_budget(&m, 8, 0);
+        assert_eq!(resident.n_spilled(), 0);
+        assert_eq!(spilled.n_spilled(), spilled.n_chunks());
+
+        let x = DenseMatrix::from_fn(6, 3, |i, j| ((i + 2 * j) % 5) as f64 * 0.4);
+        assert_eq!(spilled.lmm(&x).as_slice(), resident.lmm(&x).as_slice());
+        let y = DenseMatrix::from_fn(57, 2, |i, j| ((i * 3 + j) % 7) as f64);
+        assert_eq!(spilled.t_lmm(&y).as_slice(), resident.t_lmm(&y).as_slice());
+        assert_eq!(
+            LinearOperand::crossprod(&spilled).as_slice(),
+            LinearOperand::crossprod(&resident).as_slice()
+        );
+        assert_eq!(
+            LinearOperand::row_sums(&spilled).as_slice(),
+            LinearOperand::row_sums(&resident).as_slice()
+        );
+        assert_eq!(
+            LinearOperand::col_sums(&spilled).as_slice(),
+            LinearOperand::col_sums(&resident).as_slice()
+        );
+        assert_eq!(
+            LinearOperand::sum(&spilled).to_bits(),
+            LinearOperand::sum(&resident).to_bits()
+        );
+        assert!(spilled.materialize().approx_eq(&m, 0.0));
+        // Derived matrices keep streaming under the same budget.
+        let s = spilled.scale(1.5);
+        assert!(s.n_spilled() > 0);
+        assert!(s
+            .materialize()
+            .approx_eq(&resident.scale(1.5).materialize(), 0.0));
+    }
+
+    #[test]
+    fn partial_budget_spills_only_the_tail() {
+        let m = Matrix::Dense(DenseMatrix::from_fn(40, 4, |i, j| (i * 4 + j) as f64));
+        // Budget fits exactly two 10x4 chunks (10 * 4 * 8 = 320 bytes).
+        let c = ChunkedMatrix::with_budget(&m, 10, 640);
+        assert_eq!(c.n_chunks(), 4);
+        assert_eq!(c.n_spilled(), 2);
+        assert!(c.materialize().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn streaming_build_from_normalized_matches_materialized_build() {
+        let s = DenseMatrix::from_fn(31, 2, |i, j| ((i * 3 + j) % 7) as f64 - 2.0);
+        let r = DenseMatrix::from_fn(5, 3, |i, j| ((i * 2 + j) % 5) as f64 * 0.5);
+        let fk: Vec<usize> = (0..31).map(|i| (i * 3 + 1) % 5).collect();
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        let streamed = ChunkedMatrix::from_normalized_with_budget(&tn, 7, 0);
+        let bulk = ChunkedMatrix::with_budget(&tn.materialize(), 7, u64::MAX);
+        assert!(streamed.n_spilled() > 0);
+        assert!(streamed.materialize().approx_eq(&bulk.materialize(), 0.0));
+        let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| (i + j) as f64 * 0.3);
+        assert_eq!(streamed.lmm(&x).as_slice(), bulk.lmm(&x).as_slice());
     }
 
     #[test]

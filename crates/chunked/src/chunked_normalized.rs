@@ -24,7 +24,7 @@ use crate::{Executor, LinearOperand};
 use morpheus_core::{Matrix, NormalizedMatrix};
 use morpheus_dense::DenseMatrix;
 use morpheus_linalg::ginv_sym_psd;
-use morpheus_sparse::CsrMatrix;
+use morpheus_runtime::Runtime;
 
 /// A normalized matrix with chunked logical rows and shared base tables —
 /// the "F" side of the ORE experiments.
@@ -33,21 +33,49 @@ pub struct ChunkedNormalizedMatrix {
     /// Shared base tables `Bᵢ` (entity table first if one exists).
     tables: Vec<Matrix>,
     /// `assigns[p][i]` = base-table row of part `p` feeding logical row `i`.
+    ///
+    /// Invariant (relied on by [`LinearOperand::crossprod`] and every
+    /// gather below): `assigns[p][i] < tables[p].rows()` — guaranteed by
+    /// [`morpheus_core::Indicator::assignment`], whose values are either
+    /// the identity over the table rows or one-hot column positions of an
+    /// `n x table_rows` indicator.
     assigns: Vec<Vec<usize>>,
     /// Chunk boundaries over the logical rows: `[0, c₁, …, n]`.
     chunk_offsets: Vec<usize>,
     n_rows: usize,
-    executor: Executor,
+    /// `None` resolves [`Runtime::executor`] at each operator call, so
+    /// chunk-level parallelism always sees the *remaining* thread budget
+    /// of enclosing parallel sections.
+    executor: Option<Executor>,
 }
 
 impl ChunkedNormalizedMatrix {
-    /// Chunks a [`NormalizedMatrix`] into logical-row partitions of at most
-    /// `chunk_rows` rows. Works for every join shape (PK-FK, star, M:N) —
-    /// identity indicators become the trivial assignment.
+    /// Chunks a [`NormalizedMatrix`] into logical-row partitions of at
+    /// most `chunk_rows` rows, with chunk-level parallelism drawn from
+    /// the shared [`Runtime`] thread budget. Works for every join shape
+    /// (PK-FK, star, M:N) — identity indicators become the trivial
+    /// assignment.
     ///
     /// # Panics
-    /// Panics if `chunk_rows == 0`.
+    /// Panics if `chunk_rows == 0` or `t` is a transposed view.
+    pub fn new(t: &NormalizedMatrix, chunk_rows: usize) -> Self {
+        Self::build(t, chunk_rows, None)
+    }
+
+    /// [`ChunkedNormalizedMatrix::new`] on a caller-built executor.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows == 0` or `t` is a transposed view.
+    #[deprecated(
+        note = "use ChunkedNormalizedMatrix::new: a raw executor bypasses the \
+                Runtime thread-budget claims, so chunk- and kernel-level \
+                parallelism can oversubscribe the pool"
+    )]
     pub fn from_normalized(t: &NormalizedMatrix, chunk_rows: usize, executor: Executor) -> Self {
+        Self::build(t, chunk_rows, Some(executor))
+    }
+
+    fn build(t: &NormalizedMatrix, chunk_rows: usize, executor: Option<Executor>) -> Self {
         assert!(
             chunk_rows > 0,
             "ChunkedNormalizedMatrix: chunk_rows must be positive"
@@ -86,6 +114,13 @@ impl ChunkedNormalizedMatrix {
         self.chunk_offsets.len() - 1
     }
 
+    /// The executor used for chunk-parallel evaluation — the shared
+    /// [`Runtime`] budget unless a raw executor was pinned at
+    /// construction.
+    pub fn executor(&self) -> Executor {
+        self.executor.unwrap_or_else(Runtime::executor)
+    }
+
     /// Column offsets of the parts within `T`.
     fn col_offsets(&self) -> Vec<usize> {
         let mut offs = vec![0usize];
@@ -118,7 +153,7 @@ impl LinearOperand for ChunkedNormalizedMatrix {
             .collect();
         let m = x.cols();
         // Chunk-parallel gather-sum.
-        let chunks = self.executor.map(self.n_chunks(), |ci| {
+        let chunks = self.executor().map(self.n_chunks(), |ci| {
             let lo = self.chunk_offsets[ci];
             let hi = self.chunk_offsets[ci + 1];
             let mut out = DenseMatrix::zeros(hi - lo, m);
@@ -146,7 +181,7 @@ impl LinearOperand for ChunkedNormalizedMatrix {
             .enumerate()
             .map(|(p, table)| {
                 let n_b = table.rows();
-                let partial_groups = self.executor.map(self.n_chunks(), |ci| {
+                let partial_groups = self.executor().map(self.n_chunks(), |ci| {
                     let lo = self.chunk_offsets[ci];
                     let hi = self.chunk_offsets[ci + 1];
                     let mut group = DenseMatrix::zeros(n_b, m);
@@ -180,7 +215,7 @@ impl LinearOperand for ChunkedNormalizedMatrix {
             .map(|(p, table)| {
                 let n_b = table.rows();
                 let rows = x.rows();
-                let partial = self.executor.map(self.n_chunks(), |ci| {
+                let partial = self.executor().map(self.n_chunks(), |ci| {
                     let lo = self.chunk_offsets[ci];
                     let hi = self.chunk_offsets[ci + 1];
                     let mut xg = DenseMatrix::zeros(rows, n_b);
@@ -218,19 +253,31 @@ impl LinearOperand for ChunkedNormalizedMatrix {
             let weights: Vec<f64> = counts.iter().map(|&c| c.sqrt()).collect();
             let diag = self.tables[i].scale_rows(&weights).crossprod();
             out.set_block(offs[i], offs[i], &diag);
-            // Off-diagonal blocks via the co-occurrence matrix
-            // M = IᵢᵀIⱼ accumulated from the paired assignments.
+            // Off-diagonal blocks BᵢᵀM Bⱼ via the co-occurrence matrix
+            // M = IᵢᵀIⱼ. M·Bⱼ is accumulated directly from the sorted
+            // pair multiset — each distinct `(a, b)` pair collapses to
+            // one scaled row-add, the same work and accumulation order
+            // as a CSR sparse product but with no fallible construction:
+            // `a < tables[i].rows()` and `b < tables[j].rows()` hold by
+            // the `assigns` invariant (see the field doc).
             for j in (i + 1)..q {
-                let trips: Vec<(usize, usize, f64)> = self.assigns[i]
+                let mut pairs: Vec<(usize, usize)> = self.assigns[i]
                     .iter()
                     .zip(&self.assigns[j])
-                    .map(|(&a, &b)| (a, b, 1.0))
+                    .map(|(&a, &b)| (a, b))
                     .collect();
-                let m =
-                    CsrMatrix::from_triplets(self.tables[i].rows(), self.tables[j].rows(), &trips)
-                        .expect("crossprod: co-occurrence bounds");
-                let mbj = Matrix::Sparse(m).matmul(&self.tables[j]);
-                let block = t_cross(&self.tables[i], &mbj);
+                pairs.sort_unstable();
+                let mut mbj = DenseMatrix::zeros(self.tables[i].rows(), self.tables[j].cols());
+                let mut k = 0;
+                while k < pairs.len() {
+                    let (a, b) = pairs[k];
+                    let start = k;
+                    while k < pairs.len() && pairs[k] == (a, b) {
+                        k += 1;
+                    }
+                    add_scaled_row(&mut mbj, a, &self.tables[j], b, (k - start) as f64);
+                }
+                let block = t_cross(&self.tables[i], &Matrix::Dense(mbj));
                 out.set_block(offs[j], offs[i], &block.transpose());
                 out.set_block(offs[i], offs[j], &block);
             }
@@ -240,7 +287,7 @@ impl LinearOperand for ChunkedNormalizedMatrix {
 
     fn row_sums(&self) -> DenseMatrix {
         let partials: Vec<DenseMatrix> = self.tables.iter().map(|t| t.row_sums()).collect();
-        let chunks = self.executor.map(self.n_chunks(), |ci| {
+        let chunks = self.executor().map(self.n_chunks(), |ci| {
             let lo = self.chunk_offsets[ci];
             let hi = self.chunk_offsets[ci + 1];
             let mut out = DenseMatrix::zeros(hi - lo, 1);
@@ -274,13 +321,23 @@ impl LinearOperand for ChunkedNormalizedMatrix {
     }
 
     fn sum(&self) -> f64 {
-        self.tables
-            .iter()
-            .enumerate()
-            .map(|(p, table)| {
-                let rs = table.row_sums();
-                self.assigns[p].iter().map(|&a| rs.get(a, 0)).sum::<f64>()
+        // Chunk-parallel gather-sum over the per-table row sums, folded
+        // in chunk order — the grouping is fixed by the chunk layout, so
+        // the result is invariant to the worker count.
+        let partials: Vec<DenseMatrix> = self.tables.iter().map(|t| t.row_sums()).collect();
+        self.executor()
+            .map(self.n_chunks(), |ci| {
+                let lo = self.chunk_offsets[ci];
+                let hi = self.chunk_offsets[ci + 1];
+                let mut acc = 0.0;
+                for (p, assign) in self.assigns.iter().enumerate() {
+                    for &src in &assign[lo..hi] {
+                        acc += partials[p].get(src, 0);
+                    }
+                }
+                acc
             })
+            .into_iter()
             .sum()
     }
 
@@ -329,6 +386,25 @@ impl LinearOperand for ChunkedNormalizedMatrix {
     }
 }
 
+/// `out[dst, :] += w * src[b, :]` across representations — the row-add
+/// primitive of the crossprod co-occurrence accumulation.
+fn add_scaled_row(out: &mut DenseMatrix, dst: usize, src: &Matrix, b: usize, w: f64) {
+    match src {
+        Matrix::Dense(d) => {
+            for (o, &v) in out.row_mut(dst).iter_mut().zip(d.row(b)) {
+                *o += w * v;
+            }
+        }
+        Matrix::Sparse(s) => {
+            let (cols, vals) = s.row(b);
+            let row = out.row_mut(dst);
+            for (&c, &v) in cols.iter().zip(vals) {
+                row[c] += w * v;
+            }
+        }
+    }
+}
+
 /// `aᵀ b` across representations, returned dense. The sparse arms are the
 /// two-pass scatter kernels; run under a chunk-level claim they see the
 /// remaining thread budget, so chunk- and kernel-level parallelism nest.
@@ -352,7 +428,7 @@ mod tests {
         let r = DenseMatrix::from_fn(4, 3, |i, j| ((i * 2 + j) % 5) as f64 * 0.5);
         let fk: Vec<usize> = (0..23).map(|i| (i * 5 + 1) % 4).collect();
         let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
-        let c = ChunkedNormalizedMatrix::from_normalized(&tn, 5, Executor::new(3));
+        let c = ChunkedNormalizedMatrix::new(&tn, 5);
         out.push((tn, c));
         // M:N.
         let s2 = DenseMatrix::from_fn(6, 2, |i, j| (i + j) as f64);
@@ -360,7 +436,7 @@ mod tests {
         let is: Vec<usize> = vec![0, 0, 1, 2, 3, 4, 5, 5, 2];
         let ir: Vec<usize> = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
         let tn2 = NormalizedMatrix::mn_join(s2.into(), &is, r2.into(), &ir);
-        let c2 = ChunkedNormalizedMatrix::from_normalized(&tn2, 4, Executor::new(2));
+        let c2 = ChunkedNormalizedMatrix::new(&tn2, 4);
         out.push((tn2, c2));
         // Star schema with two attribute tables of different widths.
         let s3 = DenseMatrix::from_fn(11, 1, |i, _| i as f64 * 0.5);
@@ -369,7 +445,7 @@ mod tests {
         let fk_a: Vec<usize> = (0..11).map(|i| i % 3).collect();
         let fk_b: Vec<usize> = (0..11).map(|i| (i * 5 + 1) % 2).collect();
         let tn3 = NormalizedMatrix::star(s3.into(), vec![(fk_a, r3a.into()), (fk_b, r3b.into())]);
-        let c3 = ChunkedNormalizedMatrix::from_normalized(&tn3, 3, Executor::new(2));
+        let c3 = ChunkedNormalizedMatrix::new(&tn3, 3);
         out.push((tn3, c3));
         out
     }
@@ -435,6 +511,59 @@ mod tests {
             let p = LinearOperand::ginv(&c);
             let t = tn.materialize().to_dense();
             assert!(t.matmul(&p).matmul(&t).approx_eq(&t, 1e-7));
+        }
+    }
+
+    #[test]
+    fn deprecated_raw_executor_path_still_works() {
+        let s = DenseMatrix::from_fn(9, 2, |i, j| (i + j) as f64);
+        let fk: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        let r = DenseMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        #[allow(deprecated)]
+        let c = ChunkedNormalizedMatrix::from_normalized(&tn, 4, Executor::new(2));
+        assert!(c.materialize().approx_eq(&tn.materialize(), 1e-12));
+        assert_eq!(c.executor().threads(), 2);
+    }
+
+    #[test]
+    fn zero_row_matrix_has_one_empty_chunk() {
+        let s = DenseMatrix::zeros(0, 2);
+        let r = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let fk: Vec<usize> = Vec::new();
+        let tn = NormalizedMatrix::pk_fk(s.into(), &fk, r.into());
+        let c = ChunkedNormalizedMatrix::new(&tn, 5);
+        assert_eq!(c.n_chunks(), 1);
+        let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| (i + j) as f64);
+        assert_eq!(c.lmm(&x).rows(), 0);
+        assert_eq!(LinearOperand::row_sums(&c).rows(), 0);
+        assert_eq!(LinearOperand::sum(&c), 0.0);
+        let cp = LinearOperand::crossprod(&c);
+        assert!(cp.approx_eq(&DenseMatrix::zeros(tn.cols(), tn.cols()), 0.0));
+        assert_eq!(c.materialize().rows(), 0);
+    }
+
+    #[test]
+    fn chunk_rows_larger_than_matrix_degenerates_to_one_chunk() {
+        let (tn, _) = fixtures().remove(0);
+        let c = ChunkedNormalizedMatrix::new(&tn, 10_000);
+        assert_eq!(c.n_chunks(), 1);
+        let x = DenseMatrix::from_fn(tn.cols(), 2, |i, j| (2 * i + j) as f64 * 0.25);
+        assert!(c.lmm(&x).approx_eq(&tn.lmm(&x), 1e-11));
+        assert!((LinearOperand::sum(&c) - tn.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_is_invariant_to_worker_count() {
+        for (_, c) in fixtures() {
+            let serial = {
+                let mut one = c.clone();
+                one.executor = Some(Executor::new(1));
+                LinearOperand::sum(&one)
+            };
+            let mut wide = c.clone();
+            wide.executor = Some(Executor::new(8));
+            assert_eq!(serial.to_bits(), LinearOperand::sum(&wide).to_bits());
         }
     }
 

@@ -18,8 +18,22 @@
 //!   attribute tables resident. The factorized rewrites are expressed with
 //!   the same chunk-at-a-time primitive.
 //!
-//! Both types implement [`LinearOperand`], so the `morpheus-ml` algorithms
-//! run on them unchanged — the closure property, demonstrated end-to-end.
+//! * [`PlannedChunkedMatrix`] — the per-operator cost-based planner routed
+//!   through the chunked backend: factorized-vs-materialized decisions
+//!   priced with DRAM-tier kernel rates, per-chunk dispatch overhead, and
+//!   calibrated spill I/O ([`morpheus_core::cost::estimate_op_chunked`]).
+//!
+//! All three types implement [`LinearOperand`], so the `morpheus-ml`
+//! algorithms run on them unchanged — the closure property, demonstrated
+//! end-to-end.
+//!
+//! Chunks are genuinely out-of-core: past a resident budget
+//! (`MORPHEUS_CHUNK_BYTES`) dense chunks spill to memory-mapped files in
+//! `MORPHEUS_SPILL_DIR` ([`spill`]), and operators stream over them with
+//! double-buffered prefetch — while chunk *i* computes, chunk *i + 1*
+//! faults in on a worker claimed from the same shared budget. Spill
+//! failures degrade to resident chunks (never wrong results), reported
+//! through the fault registry's degradation ladder.
 //!
 //! The executor itself lives in `morpheus-runtime` (re-exported here for
 //! compatibility): chunk-level parallelism claims workers from the shared
@@ -29,9 +43,13 @@
 
 mod chunked_matrix;
 mod chunked_normalized;
+mod planned;
+pub mod spill;
 
 pub use chunked_matrix::ChunkedMatrix;
 pub use chunked_normalized::ChunkedNormalizedMatrix;
 pub use morpheus_runtime::Executor;
+pub use planned::PlannedChunkedMatrix;
+pub use spill::{SpillFile, CHUNK_BYTES_ENV, SPILL_DIR_ENV};
 
 pub(crate) use morpheus_core::LinearOperand;

@@ -21,7 +21,7 @@
 //! selects the strategy process-wide, and a [`DecisionHook`] exposes every
 //! verdict for tests, logging, and the ablation benches.
 
-use crate::cost::{estimate_op, estimate_script, OpKind, ScriptEstimate};
+use crate::cost::{estimate_op, estimate_script, OpKind, PlanEstimate, ScriptEstimate};
 use crate::{DecisionRule, JoinStats, LinearOperand, MachineProfile, Matrix, NormalizedMatrix};
 use morpheus_dense::DenseMatrix;
 use std::sync::{Arc, OnceLock};
@@ -99,6 +99,57 @@ pub struct Decision {
 
 /// Observer invoked with every [`Decision`] a [`PlannedMatrix`] makes.
 pub type DecisionHook = Arc<dyn Fn(&Decision) + Send + Sync>;
+
+/// Resolves one routing [`Decision`] from a strategy, the operand, and a
+/// lazily-computed cost estimate — the decision core of
+/// [`PlannedMatrix`], shared with planner routes that price execution
+/// differently but route by the same rules (the chunked backend estimates
+/// through [`crate::cost::estimate_op_chunked`] and resolves here).
+///
+/// `estimate` is only invoked for [`Strategy::CostBased`]; `memoized`
+/// states whether a materialized `T` already exists, so the materialized
+/// route's one-off join cost is charged exactly when it would be paid.
+/// Ties go to the materialized route: its cost is dominated by the
+/// one-off materialization, which the memo amortizes across every later
+/// operator.
+pub fn plan_with(
+    strategy: Strategy,
+    t: &NormalizedMatrix,
+    op: OpKind,
+    memoized: bool,
+    estimate: impl FnOnce() -> PlanEstimate,
+) -> Decision {
+    match strategy {
+        Strategy::AlwaysFactorize => Decision {
+            op,
+            factorized_ns: f64::NAN,
+            materialized_ns: f64::NAN,
+            factorized: true,
+        },
+        Strategy::AlwaysMaterialize => Decision {
+            op,
+            factorized_ns: f64::NAN,
+            materialized_ns: f64::NAN,
+            factorized: false,
+        },
+        Strategy::Heuristic(rule) => Decision {
+            op,
+            factorized_ns: f64::NAN,
+            materialized_ns: f64::NAN,
+            factorized: rule.should_factorize(t),
+        },
+        Strategy::CostBased => {
+            let est = estimate();
+            let materialized_ns = est.materialized_total_ns(memoized);
+            Decision {
+                op,
+                factorized_ns: est.factorized_ns,
+                materialized_ns,
+                factorized: est.factorized_ns < materialized_ns,
+            }
+        }
+    }
+}
 
 /// A whole-script routing verdict from [`PlannedMatrix::plan_script`]:
 /// whether materializing the join up front beats letting the greedy
@@ -323,39 +374,9 @@ impl PlannedMatrix {
     // ------------------------------------------------------------------
 
     fn plan_for(&self, t: &NormalizedMatrix, op: OpKind) -> Decision {
-        match self.strategy {
-            Strategy::AlwaysFactorize => Decision {
-                op,
-                factorized_ns: f64::NAN,
-                materialized_ns: f64::NAN,
-                factorized: true,
-            },
-            Strategy::AlwaysMaterialize => Decision {
-                op,
-                factorized_ns: f64::NAN,
-                materialized_ns: f64::NAN,
-                factorized: false,
-            },
-            Strategy::Heuristic(rule) => Decision {
-                op,
-                factorized_ns: f64::NAN,
-                materialized_ns: f64::NAN,
-                factorized: rule.should_factorize(t),
-            },
-            Strategy::CostBased => {
-                let est = estimate_op(self.profile.get(), t, op);
-                let materialized_ns = est.materialized_total_ns(self.memo.get().is_some());
-                Decision {
-                    op,
-                    factorized_ns: est.factorized_ns,
-                    materialized_ns,
-                    // Ties go to the materialized route: its cost is
-                    // dominated by the one-off materialization, which the
-                    // memo amortizes across every later operator.
-                    factorized: est.factorized_ns < materialized_ns,
-                }
-            }
-        }
+        plan_with(self.strategy, t, op, self.memo.get().is_some(), || {
+            estimate_op(self.profile.get(), t, op)
+        })
     }
 
     fn decide(&self, t: &NormalizedMatrix, op: OpKind) -> bool {

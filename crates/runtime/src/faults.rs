@@ -44,6 +44,8 @@
 //! | `simd.detect` | AVX2 probe of the GEMM/reduction dispatch | any kind makes the probe report "no AVX2", demoting to the bit-identical scalar-FMA tier |
 //! | `plan.cache.lookup` / `plan.cache.insert` | inside the plan-cache lock | `panic` poisons the cache mutex; the next access recovers by clearing |
 //! | `planner.memo` | join-memo materialization closure | `panic` aborts the memoized join; the `OnceLock` stays empty and the next call recomputes |
+//! | `spill.write` | between the temp-file write and the atomic rename of a chunk spill file | `io_error`/`error` fail the spill; the chunk stays resident in memory (results unchanged, budget overrun) |
+//! | `spill.map` | after the rename, before the spill file is memory-mapped | any kind fails the mapping; the already-written file is removed and the chunk stays resident |
 //!
 //! Alongside the failpoints, this module owns the process-wide
 //! **degradation counters** ([`stats`]): every self-healing or fallback
@@ -388,6 +390,7 @@ static CALIBRATION_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
 static PROFILE_WRITE_FAILURES: AtomicU64 = AtomicU64::new(0);
 static SIMD_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static SERVE_BATCH_ABORTS: AtomicU64 = AtomicU64::new(0);
+static SPILL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
 /// A self-healing or fallback event somewhere in the workspace, recorded
 /// via [`note`]. Rung names match the degradation ladder documented in
@@ -420,6 +423,10 @@ pub enum Degradation {
     /// batch received a structured error (never a partial or corrupted
     /// response) and the scorer kept serving.
     ServeBatchAbort,
+    /// Spilling a chunk to disk failed (write, rename, or mmap); the
+    /// chunk stays resident in memory. Results are identical — the
+    /// resident budget is simply overrun.
+    SpillFallback,
 }
 
 /// Records a degradation event (called by the layers as they fall back).
@@ -434,6 +441,7 @@ pub fn note(d: Degradation) {
         Degradation::ProfileWriteFailure => &PROFILE_WRITE_FAILURES,
         Degradation::SimdFallback => &SIMD_FALLBACKS,
         Degradation::ServeBatchAbort => &SERVE_BATCH_ABORTS,
+        Degradation::SpillFallback => &SPILL_FALLBACKS,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 }
@@ -464,6 +472,9 @@ pub struct FaultStats {
     /// Scoring-service batches aborted by a panic and converted into
     /// structured per-request errors.
     pub serve_batch_aborts: u64,
+    /// Chunk spills that failed and fell back to resident in-memory
+    /// chunks (results unchanged, budget overrun).
+    pub spill_fallbacks: u64,
 }
 
 /// Reads the process-wide fault/degradation counters.
@@ -479,6 +490,7 @@ pub fn stats() -> FaultStats {
         profile_write_failures: PROFILE_WRITE_FAILURES.load(Ordering::Relaxed),
         simd_fallbacks: SIMD_FALLBACKS.load(Ordering::Relaxed),
         serve_batch_aborts: SERVE_BATCH_ABORTS.load(Ordering::Relaxed),
+        spill_fallbacks: SPILL_FALLBACKS.load(Ordering::Relaxed),
     }
 }
 
@@ -495,6 +507,7 @@ pub fn reset_stats() {
         &PROFILE_WRITE_FAILURES,
         &SIMD_FALLBACKS,
         &SERVE_BATCH_ABORTS,
+        &SPILL_FALLBACKS,
     ] {
         c.store(0, Ordering::Relaxed);
     }

@@ -80,9 +80,9 @@ fn main() {
         time_m / time_f
     );
 
-    // The same data through the chunked (ORE-analog) backend.
-    let ex = morpheus::chunked::Executor::default();
-    let cn = morpheus::chunked::ChunkedNormalizedMatrix::from_normalized(&tn, 16_384, ex);
+    // The same data through the chunked (ORE-analog) backend; chunk-level
+    // parallelism comes from the shared Runtime budget.
+    let cn = morpheus::chunked::ChunkedNormalizedMatrix::new(&tn, 16_384);
     let t3 = Instant::now();
     let w_c = solver.fit(&cn, &y);
     let time_c = t3.elapsed().as_secs_f64();

@@ -1,11 +1,18 @@
 //! Property-based validation of the chunked (ORE-analog) backends: for
 //! random join shapes, chunk sizes, and worker counts, every operator must
 //! agree with the in-memory normalized/materialized result — chunking and
-//! parallelism are pure execution details.
+//! parallelism are pure execution details. The planner-routed and
+//! spill-backed paths are held to a harder bar: spilled execution must be
+//! *bit-identical* to fully-resident chunked execution at any worker
+//! count, and injected spill-I/O faults must degrade chunks to resident —
+//! counted, never corrupting results.
 
-use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor, PlannedChunkedMatrix};
+use morpheus::core::cost::ChunkedCostCtx;
 use morpheus::core::LinearOperand;
+use morpheus::core::Strategy as Route;
 use morpheus::prelude::*;
+use morpheus::runtime::faults;
 use proptest::prelude::*;
 
 fn mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
@@ -39,6 +46,9 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let tn = pkfk(n_s, d_s, n_r, d_r, seed);
+        // Raw-executor path: the property quantifies over worker counts,
+        // which the Runtime-budget default deliberately hides.
+        #[allow(deprecated)]
         let c = ChunkedNormalizedMatrix::from_normalized(&tn, chunk, Executor::new(threads));
         prop_assert_eq!(c.nrows(), tn.rows());
         prop_assert_eq!(c.ncols(), tn.cols());
@@ -67,6 +77,7 @@ proptest! {
     ) {
         let d = mat(rows, cols, seed);
         let m = Matrix::Dense(d.clone());
+        #[allow(deprecated)]
         let c = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(threads));
         prop_assert_eq!(c.n_chunks(), rows.div_ceil(chunk).max(1));
 
@@ -89,20 +100,109 @@ proptest! {
         let tn = pkfk(30, 2, 4, 3, seed);
         let y = mat(30, 1, seed ^ 0x66).map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
         let trainer = LogisticRegressionGd::new(1e-2, 4);
-        let w_a = trainer
-            .fit(
-                &ChunkedNormalizedMatrix::from_normalized(&tn, chunk_a, Executor::new(1)),
-                &y,
-            )
-            .w;
-        let w_b = trainer
-            .fit(
-                &ChunkedNormalizedMatrix::from_normalized(&tn, chunk_b, Executor::new(3)),
-                &y,
-            )
-            .w;
+        #[allow(deprecated)]
+        let a = ChunkedNormalizedMatrix::from_normalized(&tn, chunk_a, Executor::new(1));
+        #[allow(deprecated)]
+        let b = ChunkedNormalizedMatrix::from_normalized(&tn, chunk_b, Executor::new(3));
+        let w_a = trainer.fit(&a, &y).w;
+        let w_b = trainer.fit(&b, &y).w;
         let w_ref = trainer.fit(&tn, &y).w;
         prop_assert!(w_a.approx_eq(&w_ref, 1e-10));
         prop_assert!(w_b.approx_eq(&w_ref, 1e-10));
+    }
+
+    #[test]
+    fn planner_routed_chunked_agrees_with_in_memory_across_strategies_and_threads(
+        n_s in 8usize..60,
+        d_s in 1usize..4,
+        n_r in 2usize..8,
+        d_r in 1usize..4,
+        chunk in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let tn = pkfk(n_s, d_s, n_r, d_r, seed);
+        let x = mat(tn.cols(), 2, seed ^ 0x77);
+        // (resident, spilled): same chunking, budgets MAX and 0.
+        let ctxs = [f64::INFINITY, 0.0].map(|budget| ChunkedCostCtx {
+            chunk_rows: chunk,
+            resident_budget_bytes: budget,
+            spill_read_ns_per_byte: 0.5,
+            spill_write_ns_per_byte: 1.0,
+        });
+        // Chunk-level parallelism comes from the Runtime budget; pin it
+        // per pass and restore the configured count afterwards.
+        let configured = Runtime::threads();
+        let mut per_thread: Vec<Vec<u64>> = Vec::new();
+        for threads in [1usize, 8] {
+            Runtime::set_threads(threads);
+            let mut fingerprint: Vec<u64> = Vec::new();
+            for strategy in [
+                Route::CostBased,
+                Route::AlwaysFactorize,
+                Route::AlwaysMaterialize,
+            ] {
+                for ctx in ctxs {
+                    let chunked =
+                        PlannedChunkedMatrix::with_strategy(tn.clone(), chunk, strategy)
+                            .with_profile(MachineProfile::REFERENCE)
+                            .with_cost_ctx(ctx);
+                    let planned = PlannedMatrix::with_strategy(tn.clone(), strategy)
+                        .with_profile(MachineProfile::REFERENCE);
+                    // Chunked-vs-unchunked: equal up to reduction
+                    // regrouping (chunk partials vs full-matrix bands).
+                    prop_assert!(chunked.lmm(&x).approx_eq(&planned.lmm(&x), 1e-10));
+                    prop_assert!(LinearOperand::row_sums(&chunked)
+                        .approx_eq(&LinearOperand::row_sums(&planned), 1e-10));
+                    prop_assert!(LinearOperand::crossprod(&chunked)
+                        .approx_eq(&LinearOperand::crossprod(&planned), 1e-9));
+                    let (cs, ps) = (LinearOperand::sum(&chunked), LinearOperand::sum(&planned));
+                    prop_assert!((cs - ps).abs() <= 1e-9 * ps.abs().max(1.0));
+                    // Spilled-vs-resident and across worker counts:
+                    // bit-identical, by chunk-order combination.
+                    fingerprint.extend(chunked.lmm(&x).as_slice().iter().map(|v| v.to_bits()));
+                    fingerprint.push(LinearOperand::sum(&chunked).to_bits());
+                }
+            }
+            per_thread.push(fingerprint);
+        }
+        Runtime::set_threads(configured);
+        prop_assert_eq!(&per_thread[0], &per_thread[1]);
+    }
+
+    #[test]
+    fn injected_spill_faults_degrade_to_resident_without_corruption(
+        rows in 4usize..48,
+        cols in 1usize..5,
+        chunk in 1usize..12,
+        write_fail in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Seeded chaos on the spill failpoints: whichever chunks fail to
+        // spill stay resident (counted as SpillFallback degradations) and
+        // every result stays bit-identical to the clean resident build.
+        let _guard = faults::exclusive();
+        let d = mat(rows, cols, seed);
+        let m = Matrix::Dense(d.clone());
+        let clean = ChunkedMatrix::with_budget(&m, chunk, u64::MAX);
+        let x = mat(cols, 2, seed ^ 0x88);
+        let clean_lmm = clean.lmm(&x);
+        let clean_sum = LinearOperand::sum(&clean);
+
+        let point = if write_fail { "spill.write=io_error" } else { "spill.map=error" };
+        faults::configure(&format!("{point}(0.5,seed={})", seed | 1)).unwrap();
+        let before = faults::stats().spill_fallbacks;
+        let chaotic = ChunkedMatrix::with_budget(&m, chunk, 0);
+        let degraded = faults::stats().spill_fallbacks - before;
+        faults::clear();
+
+        // Every chunk either spilled or was counted as a fallback.
+        prop_assert_eq!(
+            chaotic.n_spilled() as u64 + degraded,
+            chaotic.n_chunks() as u64
+        );
+        let chaotic_lmm = chaotic.lmm(&x);
+        prop_assert_eq!(chaotic_lmm.as_slice(), clean_lmm.as_slice());
+        prop_assert_eq!(LinearOperand::sum(&chaotic).to_bits(), clean_sum.to_bits());
+        prop_assert!(chaotic.materialize().approx_eq(&m, 0.0));
     }
 }

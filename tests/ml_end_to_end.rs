@@ -3,7 +3,7 @@
 //! `NormalizedMatrix`, the per-operator `PlannedMatrix`, and the chunked
 //! (ORE-analog) backends — across all four paper algorithms.
 
-use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix, Executor};
+use morpheus::chunked::{ChunkedMatrix, ChunkedNormalizedMatrix};
 use morpheus::data::synth::{MnJoinSpec, PkFkSpec, StarSpec};
 use morpheus::ml::gnmf::Gnmf;
 use morpheus::ml::kmeans::KMeans;
@@ -28,9 +28,8 @@ fn backends(
     ChunkedMatrix,
 ) {
     let tm = tn.materialize();
-    let ex = Executor::new(2);
-    let cn = ChunkedNormalizedMatrix::from_normalized(tn, 64, ex);
-    let cm = ChunkedMatrix::from_matrix(&tm, 64, ex);
+    let cn = ChunkedNormalizedMatrix::new(tn, 64);
+    let cm = ChunkedMatrix::new(&tm, 64);
     (tm, planned(tn), cn, cm)
 }
 

@@ -188,7 +188,12 @@ proptest! {
         Runtime::set_threads(4);
         let d = mat(rows, cols, seed);
         let m = Matrix::Dense(d.clone());
+        // The raw-executor path: this property *is* about pinning distinct
+        // chunk-level worker counts, which the Runtime default deliberately
+        // hides (Runtime::set_threads is global and racy across tests).
+        #[allow(deprecated)]
         let nested = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(outer_threads));
+        #[allow(deprecated)]
         let serial = ChunkedMatrix::from_matrix(&m, chunk, Executor::new(1));
 
         let x = mat(cols, 3, seed ^ 0x5E5E);
